@@ -1,0 +1,122 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md section 4 for the index) and runs
+   Bechamel micro-benchmarks of the computational kernels.
+
+   Usage:
+     dune exec bench/main.exe                 -- all figures, quick profile
+     dune exec bench/main.exe -- --fig 11     -- a single figure
+     dune exec bench/main.exe -- --full       -- all 20 topologies (slow)
+     dune exec bench/main.exe -- --micro      -- Bechamel kernels only *)
+
+open Flexile_core
+
+let micro_benchmarks () =
+  print_endline "\n==================== micro-benchmarks (Bechamel) ====================";
+  let open Bechamel in
+  let inst = Builder.of_name ~options:{ Builder.default_options with Builder.max_scenarios = 40 } "Sprint" in
+  let scenbest_scenario =
+    Test.make ~name:"scenbest-scenario-lp" (Staged.stage (fun () ->
+        ignore
+          (Flexile_te.Scen_lp.maxmin_losses inst ~sid:1 ~class_order:[ 0 ]
+             ~merge_classes:true ())))
+  in
+  let subproblem_sweep =
+    Test.make ~name:"flexile-offline-sprint" (Staged.stage (fun () ->
+        ignore
+          (Flexile_te.Flexile_offline.solve
+             ~config:
+               {
+                 Flexile_te.Flexile_offline.default_config with
+                 Flexile_te.Flexile_offline.max_iterations = 1;
+               }
+             inst)))
+  in
+  let simplex_kernel =
+    let model = Flexile_lp.Lp_model.create () in
+    let vars =
+      Array.init 60 (fun i ->
+          Flexile_lp.Lp_model.add_var model ~ub:10. ~obj:(-.float_of_int (1 + (i mod 7))) ())
+    in
+    for r = 0 to 39 do
+      let coeffs =
+        Array.to_list
+          (Array.mapi (fun j v -> (v, float_of_int (1 + ((r + j) mod 5)))) vars)
+      in
+      ignore (Flexile_lp.Lp_model.add_row model Flexile_lp.Lp_model.Le 50. coeffs)
+    done;
+    Test.make ~name:"simplex-60x40" (Staged.stage (fun () ->
+        ignore (Flexile_lp.Simplex.solve model)))
+  in
+  let open Bechamel.Toolkit in
+  let tests =
+    Test.make_grouped ~name:"flexile"
+      [ simplex_kernel; scenbest_scenario; subproblem_sweep ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, stats) ->
+      match Analyze.OLS.estimates stats with
+      | Some [ est ] -> Printf.printf "  %-36s %12.3f ms/run\n" name (est /. 1e6)
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  let fig = ref "all" in
+  let full = ref false in
+  let micro = ref false in
+  let args =
+    [
+      ( "--fig",
+        Arg.Set_string fig,
+        "figure id: all|motivation|table2|5|6|9|10|11|12|13|14|15|18|scenloss|ablation"
+      );
+      ("--full", Arg.Set full, "use all 20 topologies (slow)");
+      ("--micro", Arg.Set micro, "run only the Bechamel micro-benchmarks");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "flexile benchmark harness";
+  let profile = if !full then Figures.full else Figures.quick in
+  (* environment overrides for constrained machines / CI *)
+  let getenv_int name current =
+    match Sys.getenv_opt name with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> current)
+    | None -> current
+  in
+  let profile =
+    {
+      profile with
+      Figures.max_scenarios =
+        getenv_int "FLEXILE_BENCH_SCENARIOS" profile.Figures.max_scenarios;
+      max_pairs = getenv_int "FLEXILE_BENCH_PAIRS" profile.Figures.max_pairs;
+      emu_runs = getenv_int "FLEXILE_BENCH_EMU_RUNS" profile.Figures.emu_runs;
+      cvar_scenarios =
+        getenv_int "FLEXILE_BENCH_CVAR_SCENARIOS" profile.Figures.cvar_scenarios;
+    }
+  in
+  if !micro then micro_benchmarks ()
+  else begin
+    (match !fig with
+    | "all" -> Figures.all profile
+    | "motivation" -> Figures.motivation ()
+    | "table2" -> Figures.table2 ()
+    | "5" -> Figures.fig5 profile
+    | "6" -> Figures.fig6 profile
+    | "9" -> Figures.fig9 profile
+    | "10" -> Figures.fig10 profile
+    | "11" -> Figures.fig11 profile
+    | "12" -> Figures.fig12 profile
+    | "13" -> Figures.fig13 profile
+    | "14" -> Figures.fig14 profile
+    | "15" -> Figures.fig15 profile
+    | "18" -> Figures.fig18 profile
+    | "scenloss" -> Figures.scenloss profile
+    | "ablation" -> Figures.ablation profile
+    | other -> Printf.printf "unknown figure: %s\n" other);
+    if !fig = "all" then micro_benchmarks ()
+  end

@@ -1,0 +1,268 @@
+(* Command-line driver: solve a topology with any scheme, compare
+   schemes, inspect the catalog, search the max sustainable scale, or
+   run the discretization emulator. *)
+
+open Cmdliner
+module Instance = Flexile_te.Instance
+module Metrics = Flexile_te.Metrics
+
+let verbose_term =
+  let doc = "Enable informational logging." in
+  let flag = Arg.(value & flag & info [ "v"; "verbose" ] ~doc) in
+  let setup v =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (if v then Some Logs.Info else Some Logs.Warning)
+  in
+  Term.(const setup $ flag)
+
+let topology_arg =
+  let doc = "Topology name from Table 2 (e.g. IBM, Sprint, B4)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPOLOGY" ~doc)
+
+let two_class_arg =
+  let doc = "Use the two-traffic-class setup (high + low priority)." in
+  Arg.(value & flag & info [ "two-class" ] ~doc)
+
+let scenarios_arg =
+  let doc = "Maximum number of failure scenarios to enumerate." in
+  Arg.(value & opt int 150 & info [ "scenarios" ] ~doc)
+
+let pairs_arg =
+  let doc = "Maximum number of site pairs (sampled deterministically)." in
+  Arg.(value & opt int 240 & info [ "max-pairs" ] ~doc)
+
+let build_instance ?(two = false) ?(max_scenarios = 150) ?(max_pairs = 240) name =
+  let options =
+    {
+      Flexile_core.Builder.default_options with
+      Flexile_core.Builder.max_scenarios;
+      max_pairs;
+    }
+  in
+  Flexile_core.Builder.of_name ~options ~two_classes:two name
+
+let print_instance inst =
+  Printf.printf "topology %s: %d nodes, %d links, %d pairs, %d flows, %d scenarios (%.5f%% mass)\n"
+    inst.Instance.graph.Flexile_net.Graph.name
+    inst.Instance.graph.Flexile_net.Graph.n
+    (Flexile_net.Graph.nedges inst.Instance.graph)
+    (Array.length inst.Instance.pairs)
+    (Instance.nflows inst) (Instance.nscenarios inst)
+    (100. *. Flexile_failure.Failure_model.coverage inst.Instance.scenarios);
+  Array.iteri
+    (fun k (c : Instance.cls) ->
+      Printf.printf "  class %d (%s): beta=%.6f weight=%g\n" k c.Instance.cname
+        c.Instance.beta c.Instance.weight)
+    inst.Instance.classes
+
+let report inst name losses =
+  Array.iteri
+    (fun k (c : Instance.cls) ->
+      Printf.printf "%-16s class %-5s PercLoss(beta=%.4f) = %6.2f%%\n" name
+        c.Instance.cname c.Instance.beta
+        (100. *. Metrics.perc_loss inst losses ~cls:k ()))
+    inst.Instance.classes
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let iterations =
+    Arg.(value & opt int 5 & info [ "iterations" ] ~doc:"Offline decomposition iterations.")
+  in
+  let gamma =
+    Arg.(value & opt (some float) None & info [ "gamma" ]
+           ~doc:"Bound non-critical flows' loss to gamma + per-scenario optimum (section 4.4).")
+  in
+  let run () name two max_scenarios max_pairs iterations gamma =
+    let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+    print_instance inst;
+    let config =
+      {
+        Flexile_te.Flexile_offline.default_config with
+        Flexile_te.Flexile_offline.max_iterations = iterations;
+        gamma;
+      }
+    in
+    let r = Flexile_te.Flexile_scheme.run ~config inst in
+    report inst "Flexile" r.Flexile_te.Flexile_scheme.losses;
+    let off = r.Flexile_te.Flexile_scheme.offline in
+    Printf.printf
+      "offline: %d iterations, %d subproblem solves, %.2fs wall, best penalty %.4f\n"
+      (List.length off.Flexile_te.Flexile_offline.iterates)
+      off.Flexile_te.Flexile_offline.subproblems_solved
+      off.Flexile_te.Flexile_offline.wall_time
+      off.Flexile_te.Flexile_offline.best.Flexile_te.Flexile_offline.penalty
+  in
+  let term =
+    Term.(const run $ verbose_term $ topology_arg $ two_class_arg
+          $ scenarios_arg $ pairs_arg $ iterations $ gamma)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Run Flexile (offline + online) on a topology.") term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let schemes_arg =
+    let doc = "Comma-separated schemes (default: Flexile,SMORE,SWAN-Maxmin)." in
+    Arg.(value & opt string "Flexile,SMORE,SWAN-Maxmin" & info [ "schemes" ] ~doc)
+  in
+  let run () name two max_scenarios max_pairs schemes =
+    let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+    print_instance inst;
+    String.split_on_char ',' schemes
+    |> List.iter (fun s ->
+           match Flexile_core.Schemes.of_string (String.trim s) with
+           | None -> Printf.printf "unknown scheme: %s\n" s
+           | Some scheme -> (
+               try
+                 let losses = Flexile_core.Schemes.run scheme inst in
+                 report inst (Flexile_core.Schemes.name scheme) losses
+               with Flexile_core.Schemes.Timeout _ ->
+                 Printf.printf "%-16s TLE (size guard)\n"
+                   (Flexile_core.Schemes.name scheme)))
+  in
+  let term =
+    Term.(const run $ verbose_term $ topology_arg $ two_class_arg
+          $ scenarios_arg $ pairs_arg $ schemes_arg)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare TE schemes on a topology.") term
+
+(* ---- topologies ---- *)
+
+let topo_cmd =
+  let run () =
+    Printf.printf "%-16s %6s %6s %8s\n" "name" "nodes" "edges" "bridges?";
+    List.iter
+      (fun (name, n, m) ->
+        let g = Flexile_net.Catalog.by_name name in
+        let bridged =
+          Array.exists
+            (fun (e : Flexile_net.Graph.edge) ->
+              not
+                (Flexile_net.Graph.connected g
+                   ~alive:(fun id -> id <> e.Flexile_net.Graph.id)
+                   e.Flexile_net.Graph.u e.Flexile_net.Graph.v))
+            g.Flexile_net.Graph.edges
+        in
+        Printf.printf "%-16s %6d %6d %8s\n" name n m (if bridged then "yes" else "no"))
+      Flexile_net.Catalog.table2
+  in
+  let term = Term.(const run $ verbose_term) in
+  Cmd.v (Cmd.info "topologies" ~doc:"List the Table-2 topology catalog.") term
+
+(* ---- scale ---- *)
+
+let scale_cmd =
+  let scheme_arg =
+    Arg.(value & opt string "Flexile" & info [ "scheme" ] ~doc:"Scheme to search.")
+  in
+  let run () name scheme =
+    match Flexile_core.Schemes.of_string scheme with
+    | None -> Printf.printf "unknown scheme: %s\n" scheme
+    | Some scheme ->
+        let graph = Flexile_net.Catalog.by_name name in
+        let s = Flexile_core.Max_scale.search ~scheme ~graph () in
+        Printf.printf "%s on %s: max low-priority scale with zero 99%%ile loss = %.2f\n"
+          (Flexile_core.Schemes.name scheme) name s
+  in
+  let term = Term.(const run $ verbose_term $ topology_arg $ scheme_arg) in
+  Cmd.v
+    (Cmd.info "scale" ~doc:"Fig 18: max sustainable low-priority traffic scale.")
+    term
+
+(* ---- emulate ---- *)
+
+let emulate_cmd =
+  let scheme_arg =
+    Arg.(value & opt string "Flexile" & info [ "scheme" ] ~doc:"Scheme to emulate.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Independent emulation runs.")
+  in
+  let run () name two max_scenarios max_pairs scheme runs =
+    match Flexile_core.Schemes.of_string scheme with
+    | None -> Printf.printf "unknown scheme: %s\n" scheme
+    | Some scheme ->
+        let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+        print_instance inst;
+        let model = Flexile_core.Schemes.run scheme inst in
+        report inst (Flexile_core.Schemes.name scheme ^ " (model)") model;
+        for i = 1 to runs do
+          let seed = Flexile_util.Prng.of_string (Printf.sprintf "emu-%d" i) in
+          let r = Flexile_emu.Emulator.emulate ~seed inst ~model_losses:model in
+          Printf.printf "run %d: PCC=%.6f max|diff|=%.4f%%" i
+            r.Flexile_emu.Emulator.pcc
+            (100. *. r.Flexile_emu.Emulator.max_abs_diff);
+          Array.iteri
+            (fun k (_ : Instance.cls) ->
+              Printf.printf "  PercLoss[%d]=%.2f%%" k
+                (100.
+                *. Metrics.perc_loss inst r.Flexile_emu.Emulator.emulated ~cls:k
+                     ()))
+            inst.Instance.classes;
+          print_newline ()
+        done
+  in
+  let term =
+    Term.(const run $ verbose_term $ topology_arg $ two_class_arg
+          $ scenarios_arg $ pairs_arg $ scheme_arg $ runs_arg)
+  in
+  Cmd.v
+    (Cmd.info "emulate" ~doc:"Emulate a scheme's allocation with discretization.")
+    term
+
+(* ---- augment ---- *)
+
+let augment_cmd =
+  let limit_arg =
+    Arg.(value & opt float 0.0 & info [ "loss-limit" ]
+           ~doc:"Allowed PercLoss per class after augmentation.")
+  in
+  let mode_arg =
+    let doc = "Planning mode: flexile (per-flow critical scenarios) or common (scenario-centric)." in
+    Arg.(value & opt string "flexile" & info [ "mode" ] ~doc)
+  in
+  let run () name two max_scenarios max_pairs limit mode =
+    let inst = build_instance ~two ~max_scenarios:(min max_scenarios 30)
+        ~max_pairs:(min max_pairs 40) name in
+    print_instance inst;
+    let mode =
+      if String.lowercase_ascii mode = "common" then `Common else `Per_flow
+    in
+    let perc_limit =
+      Array.map (fun (_ : Instance.cls) -> limit) inst.Instance.classes
+    in
+    let r = Flexile_te.Augment.min_cost ~mode ~perc_limit inst in
+    if r.Flexile_te.Augment.cost = infinity then
+      print_endline "augmentation infeasible"
+    else begin
+      Printf.printf "minimum augmentation cost: %.3f%s\n"
+        r.Flexile_te.Augment.cost
+        (if r.Flexile_te.Augment.optimal then "" else " (not proven optimal)");
+      Array.iteri
+        (fun e add ->
+          if add > 1e-6 then
+            let edge = inst.Instance.graph.Flexile_net.Graph.edges.(e) in
+            Printf.printf "  link %d-%d: +%.3f\n" edge.Flexile_net.Graph.u
+              edge.Flexile_net.Graph.v add)
+        r.Flexile_te.Augment.added
+    end
+  in
+  let term =
+    Term.(const run $ verbose_term $ topology_arg $ two_class_arg
+          $ scenarios_arg $ pairs_arg $ limit_arg $ mode_arg)
+  in
+  Cmd.v
+    (Cmd.info "augment"
+       ~doc:"Minimum-cost capacity augmentation to meet percentile targets.")
+    term
+
+let () =
+  let info = Cmd.info "flexile" ~doc:"Percentile-aware traffic engineering (CoNEXT'22 reproduction)." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd; compare_cmd; topo_cmd; scale_cmd; emulate_cmd;
+            augment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Augment Flexile_core Flexile_net Flexile_te Instance Printf

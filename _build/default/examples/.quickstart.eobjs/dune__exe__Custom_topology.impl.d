@@ -1,0 +1,1 @@
+examples/custom_topology.ml: Array Ffc Flexile_core Flexile_net Flexile_scheme Flexile_te Instance Lower_bound Metrics Printf Scenbest Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Flexile_core Flexile_failure Flexile_offline Flexile_scheme Flexile_te Instance Metrics Printf Scenbest String Teavar

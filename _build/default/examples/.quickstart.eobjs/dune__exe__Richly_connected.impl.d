@@ -1,0 +1,1 @@
+examples/richly_connected.ml: Array Flexile_core Flexile_net Flexile_scheme Flexile_te Float Instance List Lower_bound Metrics Printf Scenbest Teavar

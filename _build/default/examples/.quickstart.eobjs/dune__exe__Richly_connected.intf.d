@@ -1,0 +1,1 @@
+examples/richly_connected.mli:

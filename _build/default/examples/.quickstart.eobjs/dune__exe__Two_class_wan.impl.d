@@ -1,0 +1,1 @@
+examples/two_class_wan.ml: Array Flexile_core Flexile_emu Flexile_scheme Flexile_te Flexile_util Instance Metrics Printf Scenbest Swan

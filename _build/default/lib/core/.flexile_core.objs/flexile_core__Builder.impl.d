@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Flexile_failure Flexile_net Flexile_te Flexile_traffic Flexile_util Float

@@ -1,0 +1,1 @@
+lib/core/builder.mli: Flexile_net Flexile_te

@@ -1,0 +1,1 @@
+lib/core/max_scale.ml: Builder Flexile_te Metrics Schemes

@@ -1,0 +1,1 @@
+lib/core/max_scale.mli: Builder Flexile_net Schemes

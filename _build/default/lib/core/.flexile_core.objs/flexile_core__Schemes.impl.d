@@ -1,0 +1,1 @@
+lib/core/schemes.ml: Cvar_flow Ffc Flexile_net Flexile_scheme Flexile_te Instance Ip_direct List Scenbest String Swan Teavar

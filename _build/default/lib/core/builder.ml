@@ -1,0 +1,201 @@
+module Prng = Flexile_util.Prng
+module Graph = Flexile_net.Graph
+module Tunnels = Flexile_net.Tunnels
+module Failure_model = Flexile_failure.Failure_model
+module Gravity = Flexile_traffic.Gravity
+module Instance = Flexile_te.Instance
+module Mlu = Flexile_te.Mlu
+
+type options = {
+  max_pairs : int;
+  max_scenarios : int;
+  scenario_cutoff : float;
+  mlu_lo : float;
+  mlu_hi : float;
+  tunnels_per_pair : int;
+  low_extra_tunnels : int;
+  low_scale : float;
+  low_beta : float;
+  high_weight : float;
+  median_failure_prob : float;
+}
+
+let default_options =
+  {
+    max_pairs = 240;
+    max_scenarios = 150;
+    scenario_cutoff = 1e-6;
+    mlu_lo = 0.5;
+    mlu_hi = 0.7;
+    tunnels_per_pair = 3;
+    low_extra_tunnels = 3;
+    low_scale = 2.0;
+    low_beta = 0.99;
+    high_weight = 100.;
+    median_failure_prob = 0.001;
+  }
+
+let sample_pairs ~seed ~max_pairs graph =
+  let all = Graph.pairs graph in
+  if Array.length all <= max_pairs then all
+  else begin
+    let copy = Array.copy all in
+    Prng.shuffle seed copy;
+    let chosen = Array.sub copy 0 max_pairs in
+    Array.sort compare chosen;
+    chosen
+  end
+
+let scenarios_for ~options ~seed graph =
+  let fm =
+    Failure_model.independent_links ~median:options.median_failure_prob ~graph
+      ~seed ()
+  in
+  Failure_model.enumerate ~cutoff:options.scenario_cutoff
+    ~max_scenarios:options.max_scenarios fm
+
+(* Scale a gravity matrix so the no-failure min-MLU lands at a
+   deterministic point of the paper's [0.5, 0.7] window. *)
+let scaled_gravity ~options ~seed graph pairs tunnels =
+  let demands = Gravity.matrix ~seed ~graph ~pairs in
+  let target = Prng.uniform seed options.mlu_lo options.mlu_hi in
+  let mlu d = Mlu.min_mlu ~graph ~tunnels ~demands:d in
+  Gravity.scale_to_mlu ~mlu ~target demands
+
+(* §6: "our design target is set to as high a probability target as
+   possible, while ensuring all flows remain connected for the sampled
+   scenarios" — i.e. the minimum over flows of their connected
+   probability mass (any higher target trivially forces PercLoss 1).
+   The flow crossing the least reliable cut is the binding one; every
+   other flow keeps a positive probability budget of scenarios it may
+   sacrifice, which is exactly the heterogeneity Flexile exploits. *)
+let finalize_betas inst =
+  let classes = Array.copy inst.Instance.classes in
+  Array.iteri
+    (fun k (c : Instance.cls) ->
+      if Float.is_nan c.Instance.beta then begin
+        let mass =
+          Array.fold_left
+            (fun acc (f : Instance.flow) ->
+              if f.Instance.cls = k && f.Instance.demand > 0. then
+                Float.min acc (Instance.connected_mass inst f)
+              else acc)
+            1. inst.Instance.flows
+        in
+        classes.(k) <- { c with Instance.beta = Float.max 0. (mass -. 1e-9) }
+      end)
+    classes;
+  Instance.with_classes inst classes
+
+let single_class ?(options = default_options) ~graph () =
+  let seed = Prng.of_string ("flexile-instance-" ^ graph.Graph.name) in
+  let pairs = sample_pairs ~seed:(Prng.split seed "pairs") ~max_pairs:options.max_pairs graph in
+  let tunnels_single =
+    Array.map
+      (fun (u, v) ->
+        Array.of_list
+          (Tunnels.select_single_class graph ~pair:(u, v)
+             ~count:options.tunnels_per_pair))
+      pairs
+  in
+  let demands =
+    scaled_gravity ~options ~seed:(Prng.split seed "traffic") graph pairs
+      tunnels_single
+  in
+  let scenarios = scenarios_for ~options ~seed:(Prng.split seed "failures") graph in
+  let inst =
+    Instance.make ~graph
+      ~classes:[| { Instance.cname = "all"; beta = Float.nan; weight = 1. } |]
+      ~pairs ~tunnels:[| tunnels_single |] ~demands:[| demands |] ~scenarios ()
+  in
+  finalize_betas inst
+
+let two_class ?(options = default_options) ~graph () =
+  let seed = Prng.of_string ("flexile-instance2-" ^ graph.Graph.name) in
+  let pairs = sample_pairs ~seed:(Prng.split seed "pairs") ~max_pairs:options.max_pairs graph in
+  let tunnels_high =
+    Array.map
+      (fun (u, v) ->
+        Array.of_list
+          (Tunnels.select_high_priority graph ~pair:(u, v)
+             ~count:options.tunnels_per_pair))
+      pairs
+  in
+  let tunnels_low =
+    Array.mapi
+      (fun i (u, v) ->
+        Array.of_list
+          (Tunnels.select_low_priority graph ~pair:(u, v)
+             ~high:(Array.to_list tunnels_high.(i))
+             ~extra:options.low_extra_tunnels))
+      pairs
+  in
+  let base =
+    scaled_gravity ~options ~seed:(Prng.split seed "traffic") graph pairs
+      tunnels_high
+  in
+  let high, low =
+    Gravity.split_two_class ~seed:(Prng.split seed "split")
+      ~low_scale:options.low_scale base
+  in
+  let scenarios = scenarios_for ~options ~seed:(Prng.split seed "failures") graph in
+  let inst =
+    Instance.make ~graph
+      ~classes:
+        [|
+          { Instance.cname = "high"; beta = Float.nan; weight = options.high_weight };
+          { Instance.cname = "low"; beta = options.low_beta; weight = 1. };
+        |]
+      ~pairs
+      ~tunnels:[| tunnels_high; tunnels_low |]
+      ~demands:[| high; low |] ~scenarios ()
+  in
+  finalize_betas inst
+
+let of_name ?options ?(two_classes = false) name =
+  let graph = Flexile_net.Catalog.by_name name in
+  if two_classes then two_class ?options ~graph ()
+  else single_class ?options ~graph ()
+
+(* ---------- toy instances from the paper ---------- *)
+
+let path_tunnel graph ~pair edges = Tunnels.make graph ~pair (Array.of_list edges)
+
+let fig1 () =
+  let graph = Flexile_net.Catalog.triangle () in
+  (* edge ids: 0 = A-B, 1 = A-C, 2 = B-C *)
+  let pairs = [| (0, 1); (0, 2) |] in
+  let tunnels =
+    [|
+      [|
+        (* A-B: direct and via C *)
+        [| path_tunnel graph ~pair:(0, 1) [ 0 ]; path_tunnel graph ~pair:(0, 1) [ 1; 2 ] |];
+        (* A-C: direct and via B *)
+        [| path_tunnel graph ~pair:(0, 2) [ 1 ]; path_tunnel graph ~pair:(0, 2) [ 0; 2 ] |];
+      |];
+    |]
+  in
+  let fm = Failure_model.of_probs ~nedges:3 [| 0.01; 0.01; 0.01 |] in
+  let scenarios = Failure_model.enumerate ~cutoff:1e-7 ~max_scenarios:8 fm in
+  Instance.make ~graph
+    ~classes:[| { Instance.cname = "all"; beta = 0.99; weight = 1. } |]
+    ~pairs ~tunnels ~demands:[| [| 1.; 1. |] |] ~scenarios ()
+
+let fig17 () =
+  let graph = Flexile_net.Catalog.triangle () in
+  let pairs = [| (0, 1); (0, 2) |] in
+  let tunnels =
+    [|
+      [|
+        (* A-B restricted to the direct link (directed topology) *)
+        [| path_tunnel graph ~pair:(0, 1) [ 0 ] |];
+        (* A-C: direct and via B *)
+        [| path_tunnel graph ~pair:(0, 2) [ 1 ]; path_tunnel graph ~pair:(0, 2) [ 0; 2 ] |];
+      |];
+    |]
+  in
+  let fm = Failure_model.of_probs ~nedges:3 [| 0.01; 0.01; 0.01 |] in
+  let scenarios = Failure_model.enumerate ~cutoff:1e-7 ~max_scenarios:8 fm in
+  Instance.make ~graph
+    ~classes:[| { Instance.cname = "all"; beta = 0.99; weight = 1. } |]
+    ~pairs ~tunnels ~demands:[| [| 1.; 1. |] |] ~scenarios ()

@@ -1,0 +1,50 @@
+(** Experiment-instance builders reproducing the paper's §6
+    methodology: catalog topology (or a supplied graph), gravity
+    traffic scaled into the target MLU window, Weibull failure
+    probabilities, best-first scenario sampling, tunnel selection per
+    class, and the design-target betas.
+
+    Everything is seeded from the topology name, so instances are
+    reproducible bit-for-bit. *)
+
+type options = {
+  max_pairs : int;
+      (** deterministic pair sampling cap for the largest topologies
+          (keeps LPs laptop-scale; see DESIGN.md). Default 240. *)
+  max_scenarios : int;  (** scenario enumeration cap. Default 150 *)
+  scenario_cutoff : float;  (** probability cutoff. Default 1e-6 *)
+  mlu_lo : float;  (** target MLU window, default [0.5, 0.7] *)
+  mlu_hi : float;
+  tunnels_per_pair : int;  (** default 3 *)
+  low_extra_tunnels : int;  (** extra tunnels for the low class, default 3 *)
+  low_scale : float;  (** low-priority demand scaling, default 2.0 *)
+  low_beta : float;  (** low-priority design target, default 0.99 *)
+  high_weight : float;  (** class weight of high-priority traffic, default 100. *)
+  median_failure_prob : float;  (** Weibull median, default 0.001 *)
+}
+
+val default_options : options
+
+val single_class :
+  ?options:options -> graph:Flexile_net.Graph.t -> unit -> Flexile_te.Instance.t
+(** One traffic class; beta is the paper's "as high as possible while
+    all flows remain connected" target ({!Flexile_te.Instance.max_beta_single}). *)
+
+val two_class :
+  ?options:options -> graph:Flexile_net.Graph.t -> unit -> Flexile_te.Instance.t
+(** Class 0 = high priority (latency-sensitive, SPOF-avoiding tunnels,
+    beta as high as possible), class 1 = low priority (extra tunnels,
+    beta = [low_beta], demand scaled by [low_scale]). *)
+
+val of_name : ?options:options -> ?two_classes:bool -> string -> Flexile_te.Instance.t
+(** Build from a Table-2 topology name. *)
+
+val fig1 : unit -> Flexile_te.Instance.t
+(** The motivating example: triangle topology, two unit-demand flows
+    A-B and A-C, every link failing with probability 0.01, target 0.99.
+    Uses single-link tunnels plus the two-hop alternates, exactly the
+    routing choices discussed in §3. *)
+
+val fig17 : unit -> Flexile_te.Instance.t
+(** The appendix's directed-triangle unfairness example: flow A-B may
+    only use the direct link, flow A-C may use both paths. *)

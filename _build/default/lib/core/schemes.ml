@@ -1,0 +1,75 @@
+open Flexile_te
+
+type t =
+  | Flexile
+  | Smore
+  | Scenbest_multi
+  | Teavar
+  | Cvar_flow_st
+  | Cvar_flow_ad
+  | Swan_maxmin
+  | Swan_throughput
+  | Ffc
+  | Ip
+
+let name = function
+  | Flexile -> "Flexile"
+  | Smore -> "SMORE"
+  | Scenbest_multi -> "ScenBest-Multi"
+  | Teavar -> "Teavar"
+  | Cvar_flow_st -> "Cvar-Flow-St"
+  | Cvar_flow_ad -> "Cvar-Flow-Ad"
+  | Swan_maxmin -> "SWAN-Maxmin"
+  | Swan_throughput -> "SWAN-Throughput"
+  | Ffc -> "FFC"
+  | Ip -> "IP"
+
+let all =
+  [
+    Flexile;
+    Smore;
+    Scenbest_multi;
+    Teavar;
+    Cvar_flow_st;
+    Cvar_flow_ad;
+    Swan_maxmin;
+    Swan_throughput;
+    Ffc;
+    Ip;
+  ]
+
+let of_string s =
+  let l = String.lowercase_ascii s in
+  List.find_opt (fun t -> String.lowercase_ascii (name t) = l) all
+
+exception Timeout of t
+
+(* Rough size guards mirroring the paper's TLE rows: the dense-inverse
+   simplex degrades sharply past a few thousand rows. *)
+let cvar_ad_rows inst =
+  Flexile_net.Graph.nedges inst.Instance.graph * Instance.nscenarios inst
+
+let ip_binaries inst = Instance.nflows inst * Instance.nscenarios inst
+
+let run ?flexile_config ?(size_guard = true) scheme inst =
+  match scheme with
+  | Flexile ->
+      (Flexile_scheme.run ?config:flexile_config inst).Flexile_scheme.losses
+  | Smore -> Scenbest.run inst
+  | Scenbest_multi -> Scenbest.run_multi inst
+  | Teavar ->
+      if size_guard && cvar_ad_rows inst > 400_000 then raise (Timeout scheme);
+      (Teavar.run inst).Teavar.losses
+  | Cvar_flow_st ->
+      if size_guard && Instance.nflows inst * Instance.nscenarios inst > 60_000
+      then raise (Timeout scheme);
+      (Cvar_flow.run_static inst).Cvar_flow.losses
+  | Cvar_flow_ad ->
+      if size_guard && cvar_ad_rows inst > 2_500 then raise (Timeout scheme);
+      (Cvar_flow.run_adaptive inst).Cvar_flow.losses
+  | Swan_maxmin -> Swan.run_maxmin inst
+  | Swan_throughput -> Swan.run_throughput inst
+  | Ffc -> (Ffc.run inst).Ffc.losses
+  | Ip ->
+      if size_guard && ip_binaries inst > 4_000 then raise (Timeout scheme);
+      (Ip_direct.solve inst).Ip_direct.losses

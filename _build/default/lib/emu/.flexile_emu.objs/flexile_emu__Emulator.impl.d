@@ -1,0 +1,1 @@
+lib/emu/emulator.ml: Array Flexile_failure Flexile_lp Flexile_net Flexile_te Flexile_util Float List Printf

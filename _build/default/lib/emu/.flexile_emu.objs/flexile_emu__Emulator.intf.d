@@ -1,0 +1,1 @@
+lib/emu/emulator.mli: Flexile_te Flexile_util

@@ -1,0 +1,253 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Graph = Flexile_net.Graph
+module Instance = Flexile_te.Instance
+module Prng = Flexile_util.Prng
+module Stats = Flexile_util.Stats
+
+type run = {
+  emulated : Instance.losses;
+  pcc : float;
+  max_abs_diff : float;
+  diff_cdf : (float * float) list;
+}
+
+let reconstruct_allocation inst ~sid ~model_losses =
+  let g = inst.Instance.graph in
+  let nk = Array.length inst.Instance.classes in
+  let np = Array.length inst.Instance.pairs in
+  let model = Lp_model.create ~name:(Printf.sprintf "reconstruct-%d" sid) () in
+  let x =
+    Array.init nk (fun k ->
+        Array.init np (fun i ->
+            let vars =
+              Array.make (Array.length inst.Instance.tunnels.(k).(i)) (-1)
+            in
+            Array.iter
+              (fun ti ->
+                (* tiny cost keeps the allocation minimal and unique-ish *)
+                vars.(ti) <- Lp_model.add_var model ~obj:1. ())
+              inst.Instance.alive_tunnels.(sid).(k).(i);
+            vars))
+  in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. && Instance.flow_connected inst f sid then begin
+        let demand = Instance.demand_in inst f sid in
+        let target = demand *. (1. -. model_losses.(f.Instance.fid).(sid)) in
+        (* slack for LP tolerance in the scheme's own solve *)
+        let target = Float.max 0. (target -. (1e-6 *. demand)) in
+        let coeffs =
+          Array.to_list inst.Instance.alive_tunnels.(sid).(f.Instance.cls).(f.Instance.pair)
+          |> List.map (fun ti -> (x.(f.Instance.cls).(f.Instance.pair).(ti), 1.))
+        in
+        ignore (Lp_model.add_row model Lp_model.Ge target coeffs)
+      end)
+    inst.Instance.flows;
+  let per_edge = Array.make (Graph.nedges g) [] in
+  for k = 0 to nk - 1 do
+    for i = 0 to np - 1 do
+      Array.iteri
+        (fun ti (t : Flexile_net.Tunnels.t) ->
+          let v = x.(k).(i).(ti) in
+          if v >= 0 then
+            Array.iter
+              (fun e -> per_edge.(e) <- (v, 1.) :: per_edge.(e))
+              t.Flexile_net.Tunnels.path)
+        inst.Instance.tunnels.(k).(i)
+    done
+  done;
+  Array.iteri
+    (fun e coeffs ->
+      if coeffs <> [] then
+        ignore
+          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+             coeffs))
+    per_edge;
+  let sol = Simplex.solve model in
+  let value v = if v >= 0 && sol.Simplex.status = Simplex.Optimal then sol.Simplex.x.(v) else 0. in
+  Array.map (Array.map (Array.map value)) x
+
+(* Integer select-group weights from a fractional split. *)
+let integer_weights ~weight_scale split =
+  let total = Array.fold_left ( +. ) 0. split in
+  if total <= 0. then Array.map (fun _ -> 0) split
+  else
+    Array.map
+      (fun s ->
+        if s <= 1e-9 then 0
+        else max 1 (int_of_float (Float.round (float_of_int weight_scale *. s /. total))))
+      split
+
+(* Fixed point of per-link pass factors: traffic arriving at each hop
+   is the tunnel's injected volume scaled by the upstream factors. *)
+let link_pass_factors inst ~sid tunnel_traffic =
+  let g = inst.Instance.graph in
+  let ne = Graph.nedges g in
+  let factors = Array.make ne 1. in
+  let scen = inst.Instance.scenarios.(sid) in
+  for _ = 1 to 25 do
+    let load = Array.make ne 0. in
+    List.iter
+      (fun ((t : Flexile_net.Tunnels.t), volume) ->
+        let carried = ref volume in
+        Array.iter
+          (fun e ->
+            load.(e) <- load.(e) +. !carried;
+            carried := !carried *. factors.(e))
+          t.Flexile_net.Tunnels.path)
+      tunnel_traffic;
+    for e = 0 to ne - 1 do
+      if not scen.Flexile_failure.Failure_model.edge_alive.(e) then
+        factors.(e) <- 0.
+      else if load.(e) > g.Graph.edges.(e).Graph.capacity then
+        factors.(e) <- g.Graph.edges.(e).Graph.capacity /. load.(e)
+      else factors.(e) <- 1.
+    done
+  done;
+  factors
+
+(* Reconstruction depends only on (instance, model losses, scenario),
+   not on the emulation seed; cache it so repeated runs (the paper does
+   5 per scheme) only pay for the LPs once. *)
+let alloc_cache :
+    (Instance.losses * float array array array option array) list ref =
+  ref []
+
+let cached_allocation inst ~sid ~model_losses =
+  let slot =
+    match
+      List.find_opt (fun (key, _) -> key == model_losses) !alloc_cache
+    with
+    | Some (_, slots) -> slots
+    | None ->
+        let slots = Array.make (Instance.nscenarios inst) None in
+        alloc_cache := (model_losses, slots) :: !alloc_cache;
+        if List.length !alloc_cache > 16 then
+          alloc_cache :=
+            List.filteri (fun i _ -> i < 16) !alloc_cache;
+        slots
+  in
+  match slot.(sid) with
+  | Some a -> a
+  | None ->
+      let a = reconstruct_allocation inst ~sid ~model_losses in
+      slot.(sid) <- Some a;
+      a
+
+let emulate ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
+    ~model_losses =
+  let nq = Instance.nscenarios inst in
+  let emulated = Instance.alloc_losses inst in
+  for sid = 0 to nq - 1 do
+    let alloc = cached_allocation inst ~sid ~model_losses in
+    (* per-flow packetized tunnel volumes *)
+    let tunnel_traffic = ref [] in
+    let flow_sent = Array.make (Instance.nflows inst) 0. in
+    Array.iter
+      (fun (f : Instance.flow) ->
+        let fid = f.Instance.fid in
+        let demand = Instance.demand_in inst f sid in
+        if demand <= 0. then emulated.(fid).(sid) <- 0.
+        else if not (Instance.flow_connected inst f sid) then
+          emulated.(fid).(sid) <- 1.
+        else begin
+          let split = alloc.(f.Instance.cls).(f.Instance.pair) in
+          let weights = integer_weights ~weight_scale split in
+          let wsum = Array.fold_left ( + ) 0 weights in
+          let admitted = demand *. (1. -. model_losses.(fid).(sid)) in
+          if wsum = 0 || admitted <= 0. then emulated.(fid).(sid) <- 1.
+          else begin
+            let npackets =
+              max 1
+                (int_of_float
+                   (Float.round (admitted *. float_of_int packets_per_unit)))
+            in
+            let counts = Array.make (Array.length weights) 0 in
+            for _ = 1 to npackets do
+              (* weighted tunnel choice per packet *)
+              let r = Prng.int seed wsum in
+              let acc = ref 0 and chosen = ref 0 in
+              (try
+                 Array.iteri
+                   (fun ti w ->
+                     acc := !acc + w;
+                     if r < !acc then begin
+                       chosen := ti;
+                       raise Exit
+                     end)
+                   weights
+               with Exit -> ());
+              counts.(!chosen) <- counts.(!chosen) + 1
+            done;
+            let unit = admitted /. float_of_int npackets in
+            Array.iteri
+              (fun ti c ->
+                if c > 0 then
+                  tunnel_traffic :=
+                    ( inst.Instance.tunnels.(f.Instance.cls).(f.Instance.pair).(ti),
+                      float_of_int c *. unit,
+                      fid )
+                    :: !tunnel_traffic)
+              counts;
+            flow_sent.(fid) <- admitted
+          end
+        end)
+      inst.Instance.flows;
+    let traffic_only =
+      List.map (fun (t, v, _) -> (t, v)) !tunnel_traffic
+    in
+    let factors = link_pass_factors inst ~sid traffic_only in
+    let delivered = Array.make (Instance.nflows inst) 0. in
+    List.iter
+      (fun ((t : Flexile_net.Tunnels.t), volume, fid) ->
+        let carried = ref volume in
+        Array.iter
+          (fun e -> carried := !carried *. factors.(e))
+          t.Flexile_net.Tunnels.path;
+        delivered.(fid) <- delivered.(fid) +. !carried)
+      !tunnel_traffic;
+    Array.iter
+      (fun (f : Instance.flow) ->
+        let fid = f.Instance.fid in
+        let demand = Instance.demand_in inst f sid in
+        if
+          demand > 0.
+          && Instance.flow_connected inst f sid
+          && flow_sent.(fid) > 0.
+        then
+          emulated.(fid).(sid) <-
+            Float.max 0. (Float.min 1. (1. -. (delivered.(fid) /. demand))))
+      inst.Instance.flows
+  done;
+  (* compare against the model *)
+  let em = ref [] and mo = ref [] and diffs = ref [] in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. then
+        for sid = 0 to nq - 1 do
+          em := emulated.(f.Instance.fid).(sid) :: !em;
+          mo := model_losses.(f.Instance.fid).(sid) :: !mo;
+          diffs :=
+            emulated.(f.Instance.fid).(sid)
+            -. model_losses.(f.Instance.fid).(sid)
+            :: !diffs
+        done)
+    inst.Instance.flows;
+  let em = Array.of_list !em and mo = Array.of_list !mo in
+  let diffs = Array.of_list !diffs in
+  let n = Array.length diffs in
+  let diff_cdf =
+    let sorted = Array.copy diffs in
+    Array.sort compare sorted;
+    Array.to_list
+      (Array.mapi
+         (fun i v -> (v, float_of_int (i + 1) /. float_of_int n))
+         sorted)
+  in
+  {
+    emulated;
+    pcc = Stats.pearson em mo;
+    max_abs_diff = Array.fold_left (fun a d -> Float.max a (Float.abs d)) 0. diffs;
+    diff_cdf;
+  }

@@ -1,0 +1,45 @@
+(** Flow-level testbed emulator standing in for the paper's
+    Mininet/Open vSwitch cluster (§6.1).
+
+    The paper found that the only systematic gap between its
+    optimization models and the emulation testbed is discretization:
+    Open vSwitch select groups take integer weights, and traffic is
+    packetized.  This emulator reproduces exactly those channels:
+
+    - the model's tunnel allocation is converted to integer weights in
+      [1, weight_scale];
+    - each flow's admitted traffic (the token-bucket rate, i.e. its
+      model-delivered volume) is quantized into packets that pick a
+      tunnel at random with weight-proportional probability;
+    - links drop excess traffic proportionally, hop by hop (computed
+      as the fixed point of per-link pass factors).
+
+    Comparing emulated to model losses reproduces Fig. 9c. *)
+
+type run = {
+  emulated : Flexile_te.Instance.losses;
+  pcc : float;  (** Pearson correlation, emulated vs model, all cells *)
+  max_abs_diff : float;
+  diff_cdf : (float * float) list;
+      (** CDF of (emulated - model) loss over flows x scenarios *)
+}
+
+val reconstruct_allocation :
+  Flexile_te.Instance.t ->
+  sid:int ->
+  model_losses:Flexile_te.Instance.losses ->
+  float array array array
+(** Recover a concrete tunnel allocation (class -> pair -> tunnel)
+    realizing the scheme's model losses in a scenario: the LP the
+    controller would solve to install forwarding weights. *)
+
+val emulate :
+  ?packets_per_unit:int ->
+  ?weight_scale:int ->
+  seed:Flexile_util.Prng.t ->
+  Flexile_te.Instance.t ->
+  model_losses:Flexile_te.Instance.losses ->
+  run
+(** Emulate every scenario once.  [packets_per_unit] (default 200)
+    controls quantization granularity; [weight_scale] (default 100)
+    is the Open vSwitch select-group weight range. *)

@@ -1,0 +1,1 @@
+lib/failure/failure_model.ml: Array Flexile_net Flexile_util Float List

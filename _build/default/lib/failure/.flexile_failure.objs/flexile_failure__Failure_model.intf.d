@@ -1,0 +1,1 @@
+lib/failure/failure_model.mli: Flexile_net Flexile_util

@@ -1,0 +1,174 @@
+type t = {
+  nedges : int;
+  unit_probs : float array;
+  unit_edges : int array array;
+}
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let independent_links ?(median = 0.001) ?(shape = 0.8) ~graph ~seed () =
+  let nedges = Flexile_net.Graph.nedges graph in
+  (* Weibull median is scale * (ln 2)^(1/shape). *)
+  let scale = median /. Float.pow (Float.log 2.) (1. /. shape) in
+  let unit_probs =
+    Array.init nedges (fun _ ->
+        clamp 1e-5 0.3 (Flexile_util.Prng.weibull seed ~shape ~scale))
+  in
+  { nedges; unit_probs; unit_edges = Array.init nedges (fun i -> [| i |]) }
+
+let of_probs ~nedges probs =
+  if Array.length probs <> nedges then invalid_arg "Failure_model.of_probs";
+  Array.iter
+    (fun p ->
+      if p < 0. || p >= 1. then
+        invalid_arg "Failure_model.of_probs: probability out of [0,1)")
+    probs;
+  {
+    nedges;
+    unit_probs = Array.copy probs;
+    unit_edges = Array.init nedges (fun i -> [| i |]);
+  }
+
+let grouped ~groups ~probs ~nedges =
+  if Array.length groups <> Array.length probs then
+    invalid_arg "Failure_model.grouped";
+  { nedges; unit_probs = Array.copy probs; unit_edges = Array.map Array.copy groups }
+
+type scenario = {
+  sid : int;
+  failed_units : int array;
+  prob : float;
+  edge_alive : bool array;
+}
+
+let alive_of_failed t failed =
+  let alive = Array.make t.nedges true in
+  Array.iter
+    (fun u -> Array.iter (fun e -> alive.(e) <- false) t.unit_edges.(u))
+    failed;
+  alive
+
+let base_prob t =
+  Array.fold_left (fun acc p -> acc *. (1. -. p)) 1. t.unit_probs
+
+let scenario_prob t failed =
+  let odds u = t.unit_probs.(u) /. (1. -. t.unit_probs.(u)) in
+  Array.fold_left (fun acc u -> acc *. odds u) (base_prob t) failed
+
+let no_failure t =
+  {
+    sid = 0;
+    failed_units = [||];
+    prob = base_prob t;
+    edge_alive = Array.make t.nedges true;
+  }
+
+let scenario_of_units t ~sid failed =
+  let failed = Array.copy failed in
+  Array.sort compare failed;
+  {
+    sid;
+    failed_units = failed;
+    prob = scenario_prob t failed;
+    edge_alive = alive_of_failed t failed;
+  }
+
+(* Best-first subset enumeration.  Each heap entry is a scenario whose
+   children extend the failed set with a strictly larger unit index;
+   since every odds ratio is < 1 (p < 0.5), children have smaller
+   probability than their parent, so the heap pops scenarios in
+   non-increasing probability order. *)
+module Heap = struct
+  type entry = { p : float; last : int; failed : int list }
+  type h = { mutable data : entry array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let cap = max 64 (2 * h.size) in
+      let d = Array.make cap e in
+      Array.blit h.data 0 d 0 h.size;
+      h.data <- d
+    end;
+    h.data.(h.size) <- e;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if h.data.(!i).p > h.data.(parent).p then begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 and continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let big = ref !i in
+        if l < h.size && h.data.(l).p > h.data.(!big).p then big := l;
+        if r < h.size && h.data.(r).p > h.data.(!big).p then big := r;
+        if !big <> !i then begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!big);
+          h.data.(!big) <- tmp;
+          i := !big
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let enumerate ?(cutoff = 1e-6) ?(max_scenarios = 400) t =
+  Array.iter
+    (fun p ->
+      if p >= 0.5 then
+        invalid_arg
+          "Failure_model.enumerate: unit failure probability >= 0.5 breaks \
+           best-first ordering")
+    t.unit_probs;
+  let nunits = Array.length t.unit_probs in
+  let odds = Array.map (fun p -> p /. (1. -. p)) t.unit_probs in
+  let heap = Heap.create () in
+  Heap.push heap { Heap.p = base_prob t; last = -1; failed = [] };
+  let out = ref [] in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue && !count < max_scenarios do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some { Heap.p; last; failed } ->
+        if p < cutoff then continue := false
+        else begin
+          let failed_arr = Array.of_list (List.rev failed) in
+          out :=
+            {
+              sid = !count;
+              failed_units = failed_arr;
+              prob = p;
+              edge_alive = alive_of_failed t failed_arr;
+            }
+            :: !out;
+          incr count;
+          for j = last + 1 to nunits - 1 do
+            let child_p = p *. odds.(j) in
+            if child_p >= cutoff then
+              Heap.push heap { Heap.p = child_p; last = j; failed = j :: failed }
+          done
+        end
+  done;
+  Array.of_list (List.rev !out)
+
+let coverage scenarios =
+  Array.fold_left (fun acc s -> acc +. s.prob) 0. scenarios

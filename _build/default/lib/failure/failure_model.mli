@@ -1,0 +1,59 @@
+(** Stochastic failure model: shared-risk link groups (SRLGs) with
+    independent failure probabilities, and best-first enumeration of
+    the most probable disjoint failure scenarios.
+
+    In the default model every link is its own SRLG with a
+    Weibull-distributed failure probability whose median is ~0.001,
+    matching the paper's §6 methodology and the WAN measurement
+    studies it cites. *)
+
+type t = {
+  nedges : int;
+  unit_probs : float array;  (** failure probability of each SRLG *)
+  unit_edges : int array array;  (** SRLG -> edge ids failing together *)
+}
+
+val independent_links :
+  ?median:float ->
+  ?shape:float ->
+  graph:Flexile_net.Graph.t ->
+  seed:Flexile_util.Prng.t ->
+  unit ->
+  t
+(** One SRLG per link; probabilities sampled from a Weibull whose
+    median is [median] (default 0.001), shape default 0.8, clamped to
+    [1e-5, 0.3]. *)
+
+val of_probs : nedges:int -> float array -> t
+(** One SRLG per link with the given probabilities (testing and the
+    paper's toy examples where every link fails with 0.01). *)
+
+val grouped :
+  groups:int array array -> probs:float array -> nedges:int -> t
+(** Explicit SRLGs: [groups.(i)] lists the edges failing together with
+    probability [probs.(i)]. *)
+
+(** A failure scenario: a subset of SRLGs failed, all others alive.
+    Scenarios are disjoint events; probabilities of an enumeration sum
+    to at most 1. *)
+type scenario = {
+  sid : int;  (** dense index within the enumeration *)
+  failed_units : int array;
+  prob : float;
+  edge_alive : bool array;  (** length [nedges] *)
+}
+
+val no_failure : t -> scenario
+
+val enumerate :
+  ?cutoff:float -> ?max_scenarios:int -> t -> scenario array
+(** Scenarios in non-increasing probability order, stopping below
+    probability [cutoff] (default 1e-6, the paper's threshold) or at
+    [max_scenarios] (default 400).  The no-failure scenario is first. *)
+
+val coverage : scenario array -> float
+(** Total probability mass of the enumerated scenarios. *)
+
+val scenario_of_units : t -> sid:int -> int array -> scenario
+(** Build a specific scenario (testing; probability computed from the
+    model). *)

@@ -1,0 +1,1 @@
+lib/lp/row_gen.ml: List Lp_model Simplex

@@ -1,0 +1,1 @@
+lib/lp/row_gen.mli: Lp_model Simplex

@@ -1,0 +1,182 @@
+type status = Optimal | Feasible | Infeasible | Limit
+
+type result = {
+  status : status;
+  obj : float;
+  x : float array;
+  bound : float;
+  nodes : int;
+  gap : float;
+}
+
+type options = {
+  node_limit : int;
+  time_limit : float;
+  gap_tol : float;
+  int_tol : float;
+}
+
+let default_options =
+  { node_limit = 5000; time_limit = 60.; gap_tol = 1e-6; int_tol = 1e-6 }
+
+(* A node is the list of (binary variable, fixed value) decisions on the
+   path from the root, plus the parent's LP bound for pruning. *)
+type node = { fixings : (Lp_model.var * float) list; parent_bound : float }
+
+let is_integral ~int_tol x binaries =
+  Array.for_all
+    (fun j ->
+      let v = x.(j) in
+      Float.abs (v -. Float.round v) <= int_tol)
+    binaries
+
+let most_fractional ~int_tol x binaries =
+  let best = ref (-1) and best_frac = ref int_tol in
+  Array.iter
+    (fun j ->
+      let v = x.(j) in
+      let frac = Float.abs (v -. Float.round v) in
+      if frac > !best_frac then begin
+        best := j;
+        best_frac := frac
+      end)
+    binaries;
+  !best
+
+let solve ?(options = default_options) ?heuristic ~binaries model =
+  let nv = Lp_model.nvars model in
+  let saved_bounds =
+    Array.map (fun j -> (j, Lp_model.lb model j, Lp_model.ub model j)) binaries
+  in
+  Array.iter (fun j -> Lp_model.set_bounds model j ~lb:0. ~ub:1.) binaries;
+  let restore () =
+    Array.iter
+      (fun (j, lb, ub) -> Lp_model.set_bounds model j ~lb ~ub)
+      saved_bounds
+  in
+  let t0 = Unix.gettimeofday () in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let nodes = ref 0 in
+  let stack = ref [ { fixings = []; parent_bound = neg_infinity } ] in
+  let hit_limit = ref false in
+  let frontier_bound () =
+    List.fold_left
+      (fun acc nd -> Float.min acc nd.parent_bound)
+      infinity !stack
+  in
+  let try_incumbent x obj =
+    if obj < !incumbent_obj -. 1e-12 then begin
+      incumbent := Some (Array.copy x);
+      incumbent_obj := obj
+    end
+  in
+  let check_heuristic lp_x =
+    match heuristic with
+    | None -> ()
+    | Some h -> (
+        match h lp_x with
+        | None -> ()
+        | Some cand ->
+            if
+              Array.length cand = nv
+              && is_integral ~int_tol:options.int_tol cand binaries
+              && Lp_model.max_violation model cand <= 1e-6
+            then try_incumbent cand (Lp_model.objective_value model cand))
+  in
+  let best_proven = ref neg_infinity in
+  (try
+     while !stack <> [] do
+       (match !stack with
+       | [] -> ()
+       | nd :: rest ->
+           stack := rest;
+           if !nodes >= options.node_limit then begin
+             hit_limit := true;
+             (* keep the node's bound contributing to the frontier bound *)
+             stack := nd :: !stack;
+             raise Exit
+           end;
+           if Unix.gettimeofday () -. t0 > options.time_limit then begin
+             hit_limit := true;
+             stack := nd :: !stack;
+             raise Exit
+           end;
+           if nd.parent_bound < !incumbent_obj -. options.gap_tol then begin
+             incr nodes;
+             List.iter
+               (fun (j, v) -> Lp_model.set_bounds model j ~lb:v ~ub:v)
+               nd.fixings;
+             let lp = Simplex.solve model in
+             List.iter
+               (fun (j, _) -> Lp_model.set_bounds model j ~lb:0. ~ub:1.)
+               nd.fixings;
+             match lp.Simplex.status with
+             | Simplex.Infeasible -> ()
+             | Simplex.Unbounded ->
+                 (* with binary fixings and a bounded relaxation this
+                    signals numerical trouble; drop the node *)
+                 ()
+             | Simplex.Iteration_limit -> hit_limit := true
+             | Simplex.Optimal ->
+                 if lp.Simplex.obj < !incumbent_obj -. options.gap_tol then begin
+                   if List.length nd.fixings = 0 then
+                     best_proven := lp.Simplex.obj;
+                   if is_integral ~int_tol:options.int_tol lp.Simplex.x binaries
+                   then begin
+                     (* snap and accept *)
+                     let xi = Array.copy lp.Simplex.x in
+                     Array.iter
+                       (fun j -> xi.(j) <- Float.round xi.(j))
+                       binaries;
+                     try_incumbent xi lp.Simplex.obj
+                   end
+                   else begin
+                     check_heuristic lp.Simplex.x;
+                     let j =
+                       most_fractional ~int_tol:options.int_tol lp.Simplex.x
+                         binaries
+                     in
+                     if j >= 0 then begin
+                       let v = lp.Simplex.x.(j) in
+                       let first = if v >= 0.5 then 1. else 0. in
+                       let mk fv =
+                         {
+                           fixings = (j, fv) :: nd.fixings;
+                           parent_bound = lp.Simplex.obj;
+                         }
+                       in
+                       (* DFS: explore the rounded side first *)
+                       stack := mk first :: mk (1. -. first) :: !stack
+                     end
+                   end
+                 end
+           end)
+     done
+   with Exit -> ());
+  let frontier = frontier_bound () in
+  restore ();
+  let bound =
+    if !stack = [] then
+      (* search exhausted: the incumbent (if any) is optimal *)
+      if !incumbent = None then infinity else !incumbent_obj
+    else Float.max !best_proven (Float.min frontier !incumbent_obj)
+  in
+  match !incumbent with
+  | Some x ->
+      let gap = Float.max 0. (!incumbent_obj -. bound) in
+      let status =
+        if (not !hit_limit) || gap <= options.gap_tol then Optimal
+        else Feasible
+      in
+      { status; obj = !incumbent_obj; x; bound; nodes = !nodes; gap }
+  | None ->
+      let status = if !hit_limit then Limit else Infeasible in
+      {
+        status;
+        obj = infinity;
+        x = Array.make nv 0.;
+        bound;
+        nodes = !nodes;
+        gap = infinity;
+      }

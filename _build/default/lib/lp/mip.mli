@@ -1,0 +1,45 @@
+(** Branch-and-bound for mixed-integer programs whose integer variables
+    are binary (the only kind appearing in the paper's formulations:
+    the critical-scenario indicators [z] of formulation (I) and of the
+    master problem (M)).
+
+    The search is depth-first with best-bound pruning, an optional
+    rounding heuristic for incumbents, and node/time limits.  When a
+    limit is hit the best incumbent is returned together with the best
+    proven lower bound, so callers can report an optimality gap. *)
+
+type status =
+  | Optimal  (** incumbent proven optimal (within [gap_tol]) *)
+  | Feasible  (** limit hit with an incumbent available *)
+  | Infeasible
+  | Limit  (** limit hit with no incumbent *)
+
+type result = {
+  status : status;
+  obj : float;  (** incumbent objective (minimization) *)
+  x : float array;  (** incumbent primal values *)
+  bound : float;  (** best proven lower bound *)
+  nodes : int;
+  gap : float;  (** [obj - bound], 0. when optimal *)
+}
+
+type options = {
+  node_limit : int;  (** default 5000 *)
+  time_limit : float;  (** seconds, default 60. *)
+  gap_tol : float;  (** absolute gap considered optimal, default 1e-6 *)
+  int_tol : float;  (** integrality tolerance, default 1e-6 *)
+}
+
+val default_options : options
+
+val solve :
+  ?options:options ->
+  ?heuristic:(float array -> float array option) ->
+  binaries:Lp_model.var array ->
+  Lp_model.t ->
+  result
+(** [solve ~binaries model] minimizes [model] with the given variables
+    constrained to {0,1}.  [heuristic lp_x] may propose a full primal
+    assignment from a fractional relaxation solution; it is checked for
+    feasibility before being accepted as an incumbent.  The model's
+    bounds are mutated during the search and restored on exit. *)

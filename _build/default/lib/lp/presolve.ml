@@ -1,0 +1,192 @@
+let tol = 1e-9
+
+type reduced = {
+  original : Lp_model.t;
+  reduced_model : Lp_model.t;
+  var_map : int array;  (** original var -> reduced var, or -1 if fixed *)
+  fixed_value : float array;  (** meaningful where var_map = -1 *)
+  row_map : int array;  (** original row -> reduced row, or -1 if dropped *)
+  obj_constant : float;
+  dropped_rows : int;
+  fixed_vars : int;
+  tightened : int;
+}
+
+let model r = r.reduced_model
+
+let stats r =
+  Printf.sprintf "%d rows dropped, %d variables fixed, %d bounds tightened"
+    r.dropped_rows r.fixed_vars r.tightened
+
+let reduce original =
+  let nv = Lp_model.nvars original and nr = Lp_model.nrows original in
+  let lb = Array.init nv (Lp_model.lb original) in
+  let ub = Array.init nv (Lp_model.ub original) in
+  let dropped = Array.make nr false in
+  let infeasible = ref false in
+  let tightened = ref 0 in
+  let tighten_lb j v =
+    if v > lb.(j) +. tol then begin
+      lb.(j) <- v;
+      incr tightened;
+      if lb.(j) > ub.(j) +. 1e-7 then infeasible := true
+    end
+  in
+  let tighten_ub j v =
+    if v < ub.(j) -. tol then begin
+      ub.(j) <- v;
+      incr tightened;
+      if lb.(j) > ub.(j) +. 1e-7 then infeasible := true
+    end
+  in
+  let is_fixed j = ub.(j) -. lb.(j) <= tol in
+  (* fixpoint over empty-row and singleton-row reductions *)
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && (not !infeasible) && !passes < 10 do
+    changed := false;
+    incr passes;
+    for i = 0 to nr - 1 do
+      if not dropped.(i) then begin
+        let coeffs = Lp_model.row_coeffs original i in
+        let live = List.filter (fun (j, _) -> not (is_fixed j)) coeffs in
+        let fixed_sum =
+          List.fold_left
+            (fun acc (j, c) -> if is_fixed j then acc +. (c *. lb.(j)) else acc)
+            0. coeffs
+        in
+        let rhs = Lp_model.rhs original i -. fixed_sum in
+        match live with
+        | [] ->
+            (match Lp_model.row_sense original i with
+            | Lp_model.Le -> if rhs < -1e-7 then infeasible := true
+            | Lp_model.Ge -> if rhs > 1e-7 then infeasible := true
+            | Lp_model.Eq -> if Float.abs rhs > 1e-7 then infeasible := true);
+            dropped.(i) <- true;
+            changed := true
+        | [ (j, a) ] when Float.abs a > tol ->
+            (match Lp_model.row_sense original i with
+            | Lp_model.Le ->
+                if a > 0. then tighten_ub j (rhs /. a) else tighten_lb j (rhs /. a)
+            | Lp_model.Ge ->
+                if a > 0. then tighten_lb j (rhs /. a) else tighten_ub j (rhs /. a)
+            | Lp_model.Eq ->
+                tighten_lb j (rhs /. a);
+                tighten_ub j (rhs /. a));
+            dropped.(i) <- true;
+            changed := true
+        | _ -> ()
+      end
+    done
+  done;
+  if !infeasible then Error `Infeasible
+  else begin
+    (* build the reduced model over non-fixed variables *)
+    let reduced_model = Lp_model.create ~name:(Lp_model.name original ^ "-pre") () in
+    let var_map = Array.make nv (-1) in
+    let fixed_value = Array.make nv 0. in
+    let fixed_vars = ref 0 in
+    let obj_constant = ref 0. in
+    for j = 0 to nv - 1 do
+      if is_fixed j then begin
+        incr fixed_vars;
+        fixed_value.(j) <- lb.(j);
+        obj_constant := !obj_constant +. (Lp_model.obj_coef original j *. lb.(j))
+      end
+      else
+        var_map.(j) <-
+          Lp_model.add_var reduced_model ~lb:lb.(j) ~ub:ub.(j)
+            ~obj:(Lp_model.obj_coef original j)
+            ()
+    done;
+    let row_map = Array.make nr (-1) in
+    let dropped_rows = ref 0 in
+    for i = 0 to nr - 1 do
+      if dropped.(i) then incr dropped_rows
+      else begin
+        let coeffs = Lp_model.row_coeffs original i in
+        let fixed_sum =
+          List.fold_left
+            (fun acc (j, c) ->
+              if var_map.(j) < 0 then acc +. (c *. fixed_value.(j)) else acc)
+            0. coeffs
+        in
+        let live =
+          List.filter_map
+            (fun (j, c) -> if var_map.(j) >= 0 then Some (var_map.(j), c) else None)
+            coeffs
+        in
+        row_map.(i) <-
+          Lp_model.add_row reduced_model
+            (Lp_model.row_sense original i)
+            (Lp_model.rhs original i -. fixed_sum)
+            live
+      end
+    done;
+    Ok
+      {
+        original;
+        reduced_model;
+        var_map;
+        fixed_value;
+        row_map;
+        obj_constant = !obj_constant;
+        dropped_rows = !dropped_rows;
+        fixed_vars = !fixed_vars;
+        tightened = !tightened;
+      }
+  end
+
+let postsolve r (sol : Simplex.solution) =
+  let nv = Lp_model.nvars r.original and nr = Lp_model.nrows r.original in
+  let x = Array.make nv 0. in
+  let reduced_costs = Array.make nv 0. in
+  for j = 0 to nv - 1 do
+    if r.var_map.(j) >= 0 then begin
+      x.(j) <- sol.Simplex.x.(r.var_map.(j));
+      reduced_costs.(j) <- sol.Simplex.reduced_costs.(r.var_map.(j))
+    end
+    else x.(j) <- r.fixed_value.(j)
+  done;
+  let row_duals = Array.make nr 0. in
+  for i = 0 to nr - 1 do
+    if r.row_map.(i) >= 0 then
+      row_duals.(i) <- sol.Simplex.row_duals.(r.row_map.(i))
+  done;
+  let obj = sol.Simplex.obj +. r.obj_constant in
+  (* keep [dual_bound] exact at the original RHS: obj = y.b + bound_term *)
+  let ydotb = ref 0. in
+  for i = 0 to nr - 1 do
+    ydotb := !ydotb +. (row_duals.(i) *. Lp_model.rhs r.original i)
+  done;
+  {
+    sol with
+    Simplex.obj;
+    x;
+    row_duals;
+    reduced_costs;
+    bound_term = obj -. !ydotb;
+  }
+
+let solve ?iter_limit m =
+  match reduce m with
+  | Error `Infeasible ->
+      {
+        Simplex.status = Simplex.Infeasible;
+        obj = infinity;
+        x = Array.make (Lp_model.nvars m) 0.;
+        row_duals = Array.make (Lp_model.nrows m) 0.;
+        reduced_costs = Array.make (Lp_model.nvars m) 0.;
+        bound_term = 0.;
+        iterations = 0;
+      }
+  | Ok r ->
+      let sol = Simplex.solve ?iter_limit r.reduced_model in
+      if sol.Simplex.status = Simplex.Optimal then postsolve r sol
+      else
+        {
+          sol with
+          Simplex.x = Array.make (Lp_model.nvars m) 0.;
+          row_duals = Array.make (Lp_model.nrows m) 0.;
+          reduced_costs = Array.make (Lp_model.nvars m) 0.;
+        }

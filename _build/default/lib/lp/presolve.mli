@@ -1,0 +1,34 @@
+(** Light LP presolve.
+
+    Applies safe, order-independent reductions before a solve and maps
+    the reduced solution back to the original variable space:
+
+    - empty rows are checked for consistency and dropped;
+    - singleton rows (one variable) become variable bounds;
+    - fixed variables (lb = ub) are substituted into rows and the
+      objective;
+    - variables that appear in no row are moved to their best bound.
+
+    The reductions matter most for the per-scenario models, where
+    failed links fix whole groups of tunnel variables to zero. *)
+
+type reduced
+
+val reduce : Lp_model.t -> (reduced, [ `Infeasible ]) result
+(** Build the reduced model, or report infeasibility detected purely by
+    presolve (e.g. an empty row with a negative <= RHS, or bound
+    crossing from a singleton row). *)
+
+val model : reduced -> Lp_model.t
+(** The reduced model (fresh; the input model is not mutated). *)
+
+val stats : reduced -> string
+(** Human-readable reduction summary. *)
+
+val solve : ?iter_limit:int -> Lp_model.t -> Simplex.solution
+(** [solve m] = presolve, solve the reduced model, postsolve: returns a
+    solution in the original variable space.  Status and objective
+    match an unreduced {!Simplex.solve} (duals are those of the reduced
+    model mapped back to surviving rows; rows eliminated by presolve
+    report dual 0, so [dual_bound] remains a valid lower bound only
+    for RHS changes on surviving rows). *)

@@ -1,0 +1,26 @@
+(** Cutting-plane / lazy-row solving.
+
+    The TeaVar and CVaR formulations have O(|flows| * |scenarios|)
+    "loss definition" rows of which only a handful are active at the
+    optimum (those attaining the per-scenario maxima).  This wrapper
+    solves with a growing row set: solve, ask the caller for violated
+    rows of the current point, add them, repeat. *)
+
+type spec = {
+  sense : Lp_model.sense;
+  rhs : float;
+  coeffs : (Lp_model.var * float) list;
+}
+
+val solve :
+  ?max_rounds:int ->
+  ?per_round:int ->
+  violated:(float array -> spec list) ->
+  Lp_model.t ->
+  Simplex.solution * int
+(** [solve ~violated model] returns the final solution and the number
+    of rounds used.  [violated x] must return rows of the *full* model
+    violated at [x] (an empty list certifies optimality for the full
+    model).  At most [per_round] (default 500) rows are added per
+    round; [max_rounds] defaults to 60.  The added rows remain in
+    [model]. *)

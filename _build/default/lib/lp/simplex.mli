@@ -1,0 +1,66 @@
+(** Two-phase bounded-variable revised primal simplex, with a dual
+    simplex for warm restarts after right-hand-side changes.
+
+    The implementation keeps an explicit dense basis inverse, so it is
+    intended for the small/medium LPs of this repository (up to a few
+    thousand rows).  It produces dual certificates: row duals, reduced
+    costs, and a parametric lower bound usable as a Benders cut when
+    only the RHS varies (the reformulation (17)–(18) of the paper). *)
+
+type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  obj : float;  (** objective value; meaningful when [status = Optimal] *)
+  x : float array;  (** primal values of the structural variables *)
+  row_duals : float array;
+      (** y with [obj = y.b + bound_term] at optimality; the marginal
+          change of the optimum per unit of RHS on each row *)
+  reduced_costs : float array;  (** structural reduced costs *)
+  bound_term : float;
+      (** sum over nonbasic variables of (reduced cost * bound value);
+          constant part of the dual objective *)
+  iterations : int;
+}
+
+val dual_bound : solution -> rhs:float array -> float
+(** [dual_bound sol ~rhs] is a valid lower bound on the optimal value of
+    the same LP with its right-hand side replaced by [rhs] (weak duality:
+    the recorded dual solution stays feasible when only the RHS moves).
+    Exact when [rhs] is the original RHS. *)
+
+(** {1 One-shot interface} *)
+
+val solve : ?iter_limit:int -> Lp_model.t -> solution
+(** Solve from a cold (slack) basis.  [iter_limit] defaults to
+    [50_000 + 50 * (nvars + nrows)]. *)
+
+(** {1 Warm-restart interface}
+
+    A [t] captures the model structure (columns, bounds, costs) at
+    creation time; [resolve_rhs] then re-optimizes for a new RHS with
+    the dual simplex starting from the previous optimal basis.  This is
+    the paper's "the dual solution space is common across the LPs for
+    different scenarios" acceleration. *)
+
+type t
+
+val make : Lp_model.t -> t
+
+val solve_warm : ?iter_limit:int -> t -> solution
+(** First solve (cold).  Subsequent calls re-solve for the model's
+    current RHS reusing the last basis. *)
+
+val resolve_rhs : ?iter_limit:int -> t -> float array -> solution
+(** [resolve_rhs t rhs] re-optimizes with row right-hand sides [rhs]
+    (length [nrows]), starting the dual simplex from the last optimal
+    basis.  Falls back to a cold primal solve if the basis is unusable. *)
+
+val extend : t -> Lp_model.t -> t
+(** [extend t model] builds a new solver state for [model], which must
+    be the same model [t] was created from with extra rows appended
+    (same variables).  The previous optimal basis is reused with the
+    new rows' slacks basic — a dual-feasible starting point, so the
+    next [solve_warm]/[resolve_rhs] continues with the dual simplex
+    instead of solving from scratch (the classic cutting-plane warm
+    start). *)

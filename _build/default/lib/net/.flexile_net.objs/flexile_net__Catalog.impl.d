@@ -1,0 +1,1 @@
+lib/net/catalog.ml: Flexile_util Gen Graph List Printf String

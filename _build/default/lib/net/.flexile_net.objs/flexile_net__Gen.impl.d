@@ -1,0 +1,1 @@
+lib/net/gen.ml: Array Flexile_util Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/net/gen.mli: Flexile_util Graph

@@ -1,0 +1,1 @@
+lib/net/gml.ml: Array Buffer Filename Graph Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/net/tunnels.ml: Array List Paths

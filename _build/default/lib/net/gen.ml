@@ -1,0 +1,86 @@
+let capacities = [| 1.0; 2.5; 5.0; 10.0 |]
+
+(* Real (1-degree-pruned) ISP topologies are sparse rings and meshes
+   joined by a few bridge links: every node has degree >= 2 (the
+   paper's pruning invariant) but the graph is generally NOT
+   2-edge-connected, and bridge failures disconnect site pairs.  The
+   generator reproduces that structure at the requested exact size:
+   nodes are split into k rings chained by k-1 bridge links, and the
+   remaining edge budget becomes random chords placed {e inside} rings
+   (so the bridges stay genuine bridges).
+
+   Edge count: sum of ring sizes (= n) + (k-1) bridges + chords = m.
+   A ring of size s admits s*(s-3)/2 chords; k and the ring sizes are
+   chosen so the chord budget always fits. *)
+let random_graph ~name ~n ~m ~seed =
+  if n < 3 then invalid_arg "Gen.random_graph: need at least 3 nodes";
+  if m < n then invalid_arg "Gen.random_graph: need m >= n for min degree 2";
+  if m > n * (n - 1) / 2 then invalid_arg "Gen.random_graph: m too large";
+  let prng = seed in
+  (* pick the largest k <= 4 whose ring sizes can host the chords *)
+  let ring_sizes k =
+    let small = max 3 (n / (2 * k)) in
+    let big = n - (small * (k - 1)) in
+    if big < 3 then None
+    else begin
+      let sizes = Array.make k small in
+      sizes.(0) <- big;
+      let chord_capacity =
+        Array.fold_left (fun a s -> a + (s * (s - 3) / 2)) 0 sizes
+      in
+      let chords = m - n - (k - 1) in
+      if chords >= 0 && chord_capacity >= chords then Some sizes else None
+    end
+  in
+  let rec pick k = if k <= 1 then [| n |] else
+    match ring_sizes k with Some s -> s | None -> pick (k - 1)
+  in
+  let kmax = min 4 (min (m - n + 1) (n / 3)) in
+  let sizes = pick (max 1 kmax) in
+  let k = Array.length sizes in
+  let order = Array.init n (fun i -> i) in
+  Flexile_util.Prng.shuffle prng order;
+  let used = Hashtbl.create (2 * m) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  let links = ref [] in
+  let cap () = Flexile_util.Prng.choose prng capacities in
+  let add u v =
+    if u <> v && not (Hashtbl.mem used (key u v)) then begin
+      Hashtbl.replace used (key u v) ();
+      links := (u, v, cap ()) :: !links;
+      true
+    end
+    else false
+  in
+  let rings = Array.make k [||] in
+  let offset = ref 0 in
+  for r = 0 to k - 1 do
+    rings.(r) <- Array.sub order !offset sizes.(r);
+    offset := !offset + sizes.(r);
+    let ring = rings.(r) in
+    for i = 0 to Array.length ring - 1 do
+      ignore (add ring.(i) ring.((i + 1) mod Array.length ring))
+    done
+  done;
+  (* chain the rings with bridges *)
+  for r = 0 to k - 2 do
+    let placed = ref false in
+    while not !placed do
+      let u = Flexile_util.Prng.choose prng rings.(r) in
+      let v = Flexile_util.Prng.choose prng rings.(r + 1) in
+      if add u v then placed := true
+    done
+  done;
+  (* chords strictly inside rings *)
+  let added = ref (n + k - 1) in
+  while !added < m do
+    let r = Flexile_util.Prng.int prng k in
+    let ring = rings.(r) in
+    let s = Array.length ring in
+    if s >= 4 then begin
+      let i = Flexile_util.Prng.int prng s in
+      let j = Flexile_util.Prng.int prng s in
+      if add ring.(i) ring.(j) then incr added
+    end
+  done;
+  Graph.create ~name ~n (Array.of_list (List.rev !links))

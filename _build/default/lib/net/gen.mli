@@ -1,0 +1,15 @@
+(** Deterministic topology generator.
+
+    The Topology Zoo GML files used by the paper are not available
+    offline, so each evaluation topology is generated at its exact
+    (nodes, edges) size with the structure of a 1-degree-pruned ISP
+    network: a few rings chained by bridge links plus random chords,
+    giving minimum degree 2 (the paper's pruning invariant) while
+    keeping realistic bridges whose failure partitions the network.
+    Link capacities come from a small set of standard magnitudes.
+    See DESIGN.md. *)
+
+val random_graph :
+  name:string -> n:int -> m:int -> seed:Flexile_util.Prng.t -> Graph.t
+(** Raises [Invalid_argument] if [m < n] (the cycle needs [n] edges) or
+    if [m] exceeds the simple-graph maximum. *)

@@ -1,0 +1,24 @@
+(** Minimal GML reader/writer for network topologies.
+
+    The Internet Topology Zoo (the paper's topology source) publishes
+    graphs as GML.  This module parses the subset of GML those files
+    use — nested [key [ ... ]] records with scalar attributes — so
+    that, given the real files, the catalog's generated stand-ins can
+    be swapped for the authors' exact inputs without touching any other
+    code.
+
+    Nodes are re-indexed densely in order of appearance; a
+    [LinkSpeed]/[bandwidth]/[capacity] attribute is used as the link
+    capacity when present (default 1.0).  One-degree nodes are pruned
+    recursively when [prune] is set, matching the paper's §6
+    preprocessing. *)
+
+val parse : ?name:string -> ?prune:bool -> string -> Graph.t
+(** Parse GML text.  Raises [Failure] with a message pointing at the
+    offending token on malformed input. *)
+
+val load : ?prune:bool -> string -> Graph.t
+(** Read and parse a [.gml] file; the graph is named after the file. *)
+
+val to_gml : Graph.t -> string
+(** Serialize a graph back to GML (id/source/target/capacity only). *)

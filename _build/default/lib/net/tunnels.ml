@@ -1,0 +1,130 @@
+type t = { pair : int * int; path : Paths.path; nodes : int array }
+
+let alive t ~edge_alive = Array.for_all edge_alive t.path
+
+let make g ~pair path =
+  { pair; path; nodes = Paths.nodes g ~src:(fst pair) path }
+
+let pool g ~pair ~k =
+  let src, dst = pair in
+  Paths.k_shortest g ~k ~src ~dst ()
+
+(* Greedy selection scored by overlap with already-selected tunnels,
+   breaking ties by length: at each step pick the candidate minimizing
+   (total shared edges with selection, length). *)
+let greedy_disjoint candidates count =
+  let rec go selected remaining n =
+    if n = 0 || remaining = [] then List.rev selected
+    else begin
+      let score p =
+        let shared =
+          List.fold_left (fun acc q -> acc + Paths.overlap p q) 0 selected
+        in
+        (shared, Array.length p)
+      in
+      let best =
+        List.fold_left
+          (fun acc p ->
+            match acc with
+            | None -> Some (p, score p)
+            | Some (_, s) when score p < s -> Some (p, score p)
+            | Some _ -> acc)
+          None remaining
+      in
+      match best with
+      | None -> List.rev selected
+      | Some (p, _) ->
+          let remaining = List.filter (fun q -> q != p) remaining in
+          go (p :: selected) remaining (n - 1)
+    end
+  in
+  go [] candidates count
+
+let select_single_class g ~pair ~count =
+  let cands = pool g ~pair ~k:(max (3 * count) 12) in
+  List.map (make g ~pair) (greedy_disjoint cands count)
+
+(* An edge common to all chosen paths is a single point of failure;
+   choose shortest paths first but replace the last pick if a
+   SPOF-free combination exists among the candidates. *)
+let select_high_priority g ~pair ~count =
+  let cands = pool g ~pair ~k:(max (3 * count) 12) in
+  match cands with
+  | [] -> []
+  | first :: _ ->
+      let has_spof chosen =
+        match chosen with
+        | [] -> false
+        | p :: rest ->
+            let common =
+              Array.to_list p
+              |> List.filter (fun e ->
+                     List.for_all
+                       (fun q -> Array.exists (fun e' -> e' = e) q)
+                       rest)
+            in
+            common <> []
+      in
+      (* shortest-first prefix *)
+      let rec take n = function
+        | [] -> []
+        | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+      in
+      let base = take count cands in
+      let chosen =
+        if not (has_spof base) then base
+        else begin
+          (* try swapping later candidates for the last slots *)
+          let rec search acc rest n =
+            if n = 0 then Some (List.rev acc)
+            else
+              let rec try_each = function
+                | [] -> None
+                | c :: tl -> (
+                    match search (c :: acc) tl (n - 1) with
+                    | Some sol when not (has_spof sol) -> Some sol
+                    | _ -> try_each tl)
+              in
+              try_each rest
+          in
+          match search [ first ] (List.tl cands) (count - 1) with
+          | Some sol -> sol
+          | None -> base
+        end
+      in
+      List.map (make g ~pair) chosen
+
+let select_low_priority g ~pair ~high ~extra =
+  let cands = pool g ~pair ~k:(max (4 * (List.length high + extra)) 20) in
+  let high_paths = List.map (fun t -> t.path) high in
+  let fresh =
+    List.filter (fun p -> not (List.exists (fun q -> q = p) high_paths)) cands
+  in
+  (* score extra tunnels by disjointness against everything chosen *)
+  let rec go selected remaining n =
+    if n = 0 || remaining = [] then List.rev selected
+    else begin
+      let score p =
+        let shared =
+          List.fold_left (fun acc q -> acc + Paths.overlap p q) 0 selected
+          + List.fold_left (fun acc q -> acc + Paths.overlap p q) 0 high_paths
+        in
+        (shared, Array.length p)
+      in
+      let best =
+        List.fold_left
+          (fun acc p ->
+            match acc with
+            | None -> Some (p, score p)
+            | Some (_, s) when score p < s -> Some (p, score p)
+            | Some _ -> acc)
+          None remaining
+      in
+      match best with
+      | None -> List.rev selected
+      | Some (p, _) ->
+          go (p :: selected) (List.filter (fun q -> q != p) remaining) (n - 1)
+    end
+  in
+  let extras = go [] fresh extra in
+  high @ List.map (make g ~pair) extras

@@ -1,0 +1,1 @@
+lib/te/augment.mli: Flexile_lp Instance

@@ -1,0 +1,1 @@
+lib/te/cvar_flow.mli: Instance

@@ -1,0 +1,1 @@
+lib/te/ffc.ml: Array Flexile_lp Flexile_net Float Instance List

@@ -1,0 +1,1 @@
+lib/te/flexile_offline.ml: Array Flexile_failure Flexile_lp Flexile_net Float Hashtbl Instance List Logs Metrics Printf Scenbest Unix

@@ -1,0 +1,1 @@
+lib/te/flexile_offline.mli: Flexile_lp Instance

@@ -1,0 +1,1 @@
+lib/te/flexile_online.ml: Array Flexile_offline Float Instance List Scen_lp

@@ -1,0 +1,1 @@
+lib/te/flexile_online.mli: Flexile_offline Instance

@@ -1,0 +1,1 @@
+lib/te/flexile_scheme.ml: Flexile_offline Flexile_online Instance

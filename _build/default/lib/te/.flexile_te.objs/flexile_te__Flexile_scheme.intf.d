@@ -1,0 +1,1 @@
+lib/te/flexile_scheme.mli: Flexile_offline Instance

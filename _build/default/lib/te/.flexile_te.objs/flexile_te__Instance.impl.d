@@ -1,0 +1,1 @@
+lib/te/instance.ml: Array Flexile_failure Flexile_net Float List Printf

@@ -1,0 +1,1 @@
+lib/te/instance.mli: Flexile_failure Flexile_net

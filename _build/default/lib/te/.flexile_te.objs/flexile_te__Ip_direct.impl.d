@@ -1,0 +1,1 @@
+lib/te/ip_direct.ml: Array Flexile_failure Flexile_lp Flexile_net Float Instance List Unix

@@ -1,0 +1,1 @@
+lib/te/ip_direct.mli: Flexile_lp Instance

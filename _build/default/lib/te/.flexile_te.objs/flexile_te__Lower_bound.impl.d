@@ -1,0 +1,1 @@
+lib/te/lower_bound.ml: Array Flexile_lp Flexile_net Float Hashtbl Instance Metrics

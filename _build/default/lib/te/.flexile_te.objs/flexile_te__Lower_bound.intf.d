@@ -1,0 +1,1 @@
+lib/te/lower_bound.mli: Instance

@@ -1,0 +1,1 @@
+lib/te/metrics.ml: Array Flexile_failure Flexile_util Float Instance List

@@ -1,0 +1,1 @@
+lib/te/metrics.mli: Instance

@@ -1,0 +1,1 @@
+lib/te/mlu.ml: Array Flexile_lp Flexile_net

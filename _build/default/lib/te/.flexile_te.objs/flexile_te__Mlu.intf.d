@@ -1,0 +1,1 @@
+lib/te/mlu.mli: Flexile_net

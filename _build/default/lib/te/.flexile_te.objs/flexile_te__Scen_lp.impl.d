@@ -1,0 +1,1 @@
+lib/te/scen_lp.ml: Array Flexile_lp Flexile_net Float Instance List Logs Printf

@@ -1,0 +1,1 @@
+lib/te/scen_lp.mli: Flexile_lp Instance

@@ -1,0 +1,1 @@
+lib/te/scenbest.ml: Array Float Instance List Scen_lp

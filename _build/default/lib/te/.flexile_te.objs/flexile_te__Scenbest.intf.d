@@ -1,0 +1,1 @@
+lib/te/scenbest.mli: Instance

@@ -1,0 +1,1 @@
+lib/te/swan.ml: Array Flexile_lp Float Instance List Scen_lp

@@ -1,0 +1,1 @@
+lib/te/swan.mli: Instance

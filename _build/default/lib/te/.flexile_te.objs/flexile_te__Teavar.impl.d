@@ -1,0 +1,1 @@
+lib/te/teavar.ml: Array Flexile_failure Flexile_lp Flexile_net Float Instance List Printf

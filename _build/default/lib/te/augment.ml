@@ -1,0 +1,160 @@
+module Lp_model = Flexile_lp.Lp_model
+module Mip = Flexile_lp.Mip
+module Graph = Flexile_net.Graph
+module Failure_model = Flexile_failure.Failure_model
+
+type result = { cost : float; added : float array; optimal : bool }
+
+let min_cost ?(options = { Flexile_lp.Mip.default_options with node_limit = 3000; time_limit = 120. })
+    ?edge_cost ?max_add ~mode ~perc_limit inst =
+  let g = inst.Instance.graph in
+  let ne = Graph.nedges g in
+  let nk = Array.length inst.Instance.classes in
+  let np = Array.length inst.Instance.pairs in
+  let nq = Instance.nscenarios inst in
+  if Array.length perc_limit <> nk then invalid_arg "Augment.min_cost";
+  let edge_cost = match edge_cost with Some f -> f | None -> fun _ -> 1. in
+  let max_add =
+    match max_add with
+    | Some m -> m
+    | None ->
+        4. *. Array.fold_left (fun a e -> Float.max a e.Graph.capacity) 0. g.Graph.edges
+  in
+  let model = Lp_model.create ~name:"augment" () in
+  let delta =
+    Array.init ne (fun e ->
+        Lp_model.add_var model ~ub:max_add ~obj:(edge_cost e) ())
+  in
+  let alphas =
+    Array.mapi
+      (fun k (_ : Instance.cls) -> Lp_model.add_var model ~ub:perc_limit.(k) ())
+      inst.Instance.classes
+  in
+  let binaries = ref [] in
+  (* common-mode scenario indicators *)
+  let zq =
+    match mode with
+    | `Common ->
+        Array.init nq (fun _ ->
+            let z = Lp_model.add_var model ~ub:1. () in
+            binaries := z :: !binaries;
+            z)
+    | `Per_flow -> [||]
+  in
+  let zf = Array.make_matrix (Instance.nflows inst) nq (-1) in
+  for q = 0 to nq - 1 do
+    let scen = inst.Instance.scenarios.(q) in
+    let x =
+      Array.init nk (fun k ->
+          Array.init np (fun i ->
+              let vars =
+                Array.make (Array.length inst.Instance.tunnels.(k).(i)) (-1)
+              in
+              Array.iter
+                (fun ti -> vars.(ti) <- Lp_model.add_var model ())
+                inst.Instance.alive_tunnels.(q).(k).(i);
+              vars))
+    in
+    let per_edge = Array.make ne [] in
+    for k = 0 to nk - 1 do
+      for i = 0 to np - 1 do
+        Array.iteri
+          (fun ti (t : Flexile_net.Tunnels.t) ->
+            let v = x.(k).(i).(ti) in
+            if v >= 0 then
+              Array.iter
+                (fun e -> per_edge.(e) <- (v, 1.) :: per_edge.(e))
+                t.Flexile_net.Tunnels.path)
+          inst.Instance.tunnels.(k).(i)
+      done
+    done;
+    Array.iteri
+      (fun e coeffs ->
+        if coeffs <> [] && scen.Failure_model.edge_alive.(e) then
+          ignore
+            (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+               ((delta.(e), -1.) :: coeffs)))
+      per_edge;
+    Array.iter
+      (fun (f : Instance.flow) ->
+        if f.Instance.demand > 0. then begin
+          let fid = f.Instance.fid in
+          let connected = Instance.flow_connected inst f q in
+          let dq = Instance.demand_in inst f q in
+          let l =
+            if dq <= 0. then Lp_model.add_var model ~ub:0. ()
+            else
+              Lp_model.add_var model
+                ~lb:(if connected then 0. else 1.)
+                ~ub:1. ()
+          in
+          if connected && dq > 0. then begin
+            let coeffs =
+              (l, dq)
+              :: (Array.to_list inst.Instance.alive_tunnels.(q).(f.Instance.cls).(f.Instance.pair)
+                 |> List.map (fun ti ->
+                        (x.(f.Instance.cls).(f.Instance.pair).(ti), 1.)))
+            in
+            ignore (Lp_model.add_row model Lp_model.Ge dq coeffs)
+          end;
+          let z =
+            match mode with
+            | `Common -> zq.(q)
+            | `Per_flow ->
+                if connected then begin
+                  let z = Lp_model.add_var model ~ub:1. () in
+                  binaries := z :: !binaries;
+                  zf.(fid).(q) <- z;
+                  z
+                end
+                else -1
+          in
+          if z >= 0 then
+            ignore
+              (Lp_model.add_row model Lp_model.Ge (-1.)
+                 [ (alphas.(f.Instance.cls), 1.); (l, -1.); (z, -1.) ])
+        end)
+      inst.Instance.flows
+  done;
+  (* coverage *)
+  (match mode with
+  | `Common ->
+      let beta =
+        Array.fold_left
+          (fun a (c : Instance.cls) -> Float.max a c.Instance.beta)
+          0. inst.Instance.classes
+      in
+      let coeffs =
+        List.init nq (fun q ->
+            (zq.(q), inst.Instance.scenarios.(q).Failure_model.prob))
+      in
+      ignore (Lp_model.add_row model Lp_model.Ge beta coeffs)
+  | `Per_flow ->
+      Array.iter
+        (fun (f : Instance.flow) ->
+          if f.Instance.demand > 0. then begin
+            let coeffs =
+              List.filter_map
+                (fun q ->
+                  if zf.(f.Instance.fid).(q) >= 0 then
+                    Some
+                      ( zf.(f.Instance.fid).(q),
+                        inst.Instance.scenarios.(q).Failure_model.prob )
+                  else None)
+                (List.init nq (fun q -> q))
+            in
+            if coeffs <> [] then
+              ignore
+                (Lp_model.add_row model Lp_model.Ge
+                   inst.Instance.classes.(f.Instance.cls).Instance.beta coeffs)
+          end)
+        inst.Instance.flows);
+  let r = Mip.solve ~options ~binaries:(Array.of_list !binaries) model in
+  match r.Mip.status with
+  | Mip.Optimal | Mip.Feasible ->
+      {
+        cost = r.Mip.obj;
+        added = Array.map (fun d -> r.Mip.x.(d)) delta;
+        optimal = r.Mip.status = Mip.Optimal;
+      }
+  | _ -> { cost = infinity; added = Array.make ne 0.; optimal = false }

@@ -1,0 +1,29 @@
+(** Minimum-cost capacity augmentation (appendix B): add capacity
+    delta_e (at per-unit cost w_e) so that each class's PercLoss is at
+    most a prescribed limit.
+
+    Two planning modes reproduce the §3 comparison:
+    - [`Per_flow]: Flexile's planning — each flow may meet its target
+      in its own set of critical scenarios (variables z_fq);
+    - [`Common]: the scenario-centric planning forced on ScenBest-like
+      schemes — all flows share one set of scenarios (variables z_q),
+      so the triangle of Fig. 1 needs every link doubled while
+      Flexile-style planning needs nothing. *)
+
+type result = {
+  cost : float;  (** total added-capacity cost *)
+  added : float array;  (** per-edge capacity added *)
+  optimal : bool;
+}
+
+val min_cost :
+  ?options:Flexile_lp.Mip.options ->
+  ?edge_cost:(int -> float) ->
+  ?max_add:float ->
+  mode:[ `Per_flow | `Common ] ->
+  perc_limit:float array ->
+  Instance.t ->
+  result
+(** [perc_limit.(k)] bounds class [k]'s PercLoss.  [edge_cost] defaults
+    to 1 per unit on every edge; [max_add] (default 4x the largest
+    capacity) bounds each edge's augmentation to keep the MIP bounded. *)

@@ -1,0 +1,153 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Row_gen = Flexile_lp.Row_gen
+module Graph = Flexile_net.Graph
+
+type result = {
+  losses : Instance.losses;
+  max_flow_cvar : float;
+  rounds : int;
+}
+
+(* Both variants share the structure
+     min theta
+     s.t. theta >= alpha_f + 1/(1-beta) * sum_q p_q s_fq      (per flow)
+          s_fq + alpha_f >= 1 - delivered_fq / d_f            (lazy)
+          capacity rows
+   and differ only in whether x is indexed by scenario. *)
+let run_common ~adaptive ?beta inst =
+  if Array.length inst.Instance.classes <> 1 then
+    invalid_arg "Cvar_flow: single traffic class only";
+  if inst.Instance.demand_factors <> None then
+    invalid_arg "Cvar_flow: per-scenario traffic matrices not supported";
+  let beta =
+    match beta with
+    | Some b -> b
+    | None -> inst.Instance.classes.(0).Instance.beta
+  in
+  let g = inst.Instance.graph in
+  let np = Array.length inst.Instance.pairs in
+  let nq = Instance.nscenarios inst in
+  let flows =
+    Array.to_list (Instance.flows_of_class inst 0)
+    |> List.filter (fun (f : Instance.flow) -> f.Instance.demand > 0.)
+  in
+  let model =
+    Lp_model.create ~name:(if adaptive then "cvar-flow-ad" else "cvar-flow-st") ()
+  in
+  let theta = Lp_model.add_var model ~name:"theta" ~obj:1. () in
+  (* per-flow theta_f (appendix C) with a tiny objective weight: when
+     one hopeless flow pins the max, the other flows' CVaRs must still
+     be optimized, or the LP solution is arbitrary for them *)
+  let eps = 1e-3 /. float_of_int (max 1 (List.length flows)) in
+  let alpha = Array.make (Instance.nflows inst) (-1) in
+  let s = Array.make_matrix (Instance.nflows inst) nq (-1) in
+  List.iter
+    (fun (f : Instance.flow) ->
+      let fid = f.Instance.fid in
+      alpha.(fid) <- Lp_model.add_var model ();
+      for q = 0 to nq - 1 do
+        s.(fid).(q) <- Lp_model.add_var model ()
+      done;
+      let p q = inst.Instance.scenarios.(q).Flexile_failure.Failure_model.prob in
+      let theta_f = Lp_model.add_var model ~obj:eps () in
+      let coeffs =
+        (theta_f, 1.) :: (alpha.(fid), -1.)
+        :: List.init nq (fun q -> (s.(fid).(q), -.p q /. (1. -. beta)))
+      in
+      ignore (Lp_model.add_row model Lp_model.Ge 0. coeffs);
+      ignore (Lp_model.add_row model Lp_model.Ge 0. [ (theta, 1.); (theta_f, -1.) ]))
+    flows;
+  (* routing variables and capacity rows *)
+  let nscen_x = if adaptive then nq else 1 in
+  (* x.(qx).(pair).(tunnel); qx = 0 in the static variant *)
+  let x =
+    Array.init nscen_x (fun qx ->
+        Array.init np (fun i ->
+            let ts = inst.Instance.tunnels.(0).(i) in
+            let vars = Array.make (Array.length ts) (-1) in
+            if adaptive then
+              Array.iter
+                (fun ti -> vars.(ti) <- Lp_model.add_var model ())
+                inst.Instance.alive_tunnels.(qx).(0).(i)
+            else
+              Array.iteri (fun ti _ -> vars.(ti) <- Lp_model.add_var model ()) ts;
+            vars))
+  in
+  for qx = 0 to nscen_x - 1 do
+    let per_edge = Array.make (Graph.nedges g) [] in
+    Array.iteri
+      (fun i ts ->
+        Array.iteri
+          (fun ti (t : Flexile_net.Tunnels.t) ->
+            let v = x.(qx).(i).(ti) in
+            if v >= 0 then
+              Array.iter
+                (fun e -> per_edge.(e) <- (v, 1.) :: per_edge.(e))
+                t.Flexile_net.Tunnels.path)
+          ts)
+      inst.Instance.tunnels.(0);
+    Array.iteri
+      (fun e coeffs ->
+        if coeffs <> [] then
+          ignore
+            (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+               coeffs))
+      per_edge
+  done;
+  let delivered xval ~pair ~q =
+    let qx = if adaptive then q else 0 in
+    Array.fold_left
+      (fun acc ti ->
+        let v = x.(qx).(pair).(ti) in
+        if v >= 0 then acc +. xval v else acc)
+      0.
+      inst.Instance.alive_tunnels.(q).(0).(pair)
+  in
+  let violated xval =
+    let out = ref [] in
+    List.iter
+      (fun (f : Instance.flow) ->
+        let fid = f.Instance.fid in
+        for q = 0 to nq - 1 do
+          let loss =
+            1.
+            -. delivered (fun v -> xval.(v)) ~pair:f.Instance.pair ~q
+               /. f.Instance.demand
+          in
+          if xval.(s.(fid).(q)) +. xval.(alpha.(fid)) < loss -. 1e-7 then begin
+            let qx = if adaptive then q else 0 in
+            let coeffs =
+              (s.(fid).(q), 1.) :: (alpha.(fid), 1.)
+              :: (Array.to_list inst.Instance.alive_tunnels.(q).(0).(f.Instance.pair)
+                 |> List.filter_map (fun ti ->
+                        let v = x.(qx).(f.Instance.pair).(ti) in
+                        if v >= 0 then Some (v, 1. /. f.Instance.demand)
+                        else None))
+            in
+            out := { Row_gen.sense = Lp_model.Ge; rhs = 1.; coeffs } :: !out
+          end
+        done)
+      flows;
+    !out
+  in
+  let sol, rounds = Row_gen.solve ~per_round:800 ~violated model in
+  if sol.Simplex.status <> Simplex.Optimal then
+    failwith "Cvar_flow: LP did not solve";
+  let losses = Instance.alloc_losses inst in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      for q = 0 to nq - 1 do
+        if f.Instance.demand <= 0. then losses.(f.Instance.fid).(q) <- 0.
+        else
+          let del =
+            delivered (fun v -> sol.Simplex.x.(v)) ~pair:f.Instance.pair ~q
+          in
+          losses.(f.Instance.fid).(q) <-
+            Float.max 0. (Float.min 1. (1. -. (del /. f.Instance.demand)))
+      done)
+    inst.Instance.flows;
+  { losses; max_flow_cvar = sol.Simplex.obj; rounds }
+
+let run_static ?beta inst = run_common ~adaptive:false ?beta inst
+let run_adaptive ?beta inst = run_common ~adaptive:true ?beta inst

@@ -1,0 +1,22 @@
+(** The paper's two CVaR generalizations of TeaVar (§5, Appendix C):
+    both evaluate losses at {e flow} level (per-flow CVaR) and minimize
+    the maximum CVaR across flows.
+
+    - [Cvar-Flow-St]: static routing, identical tunnel allocation in
+      every scenario (live tunnels keep their allocation);
+    - [Cvar-Flow-Ad]: adaptive routing, allocations re-chosen per
+      scenario (like SMORE/Flexile).
+
+    Loss-definition rows are generated lazily; the Ad variant carries
+    per-scenario capacity rows, so it is only tractable on moderate
+    instances — callers should bound its size (the paper itself reports
+    TLE for large CVaR runs). *)
+
+type result = {
+  losses : Instance.losses;
+  max_flow_cvar : float;  (** optimal MaxFlowCVaR (eq. 20) *)
+  rounds : int;
+}
+
+val run_static : ?beta:float -> Instance.t -> result
+val run_adaptive : ?beta:float -> Instance.t -> result

@@ -1,0 +1,119 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Graph = Flexile_net.Graph
+
+type result = {
+  losses : Instance.losses;
+  granted : float array;
+  allocation : float array array;
+}
+
+(* Enumerate the <= k element subsets of [edges]. *)
+let rec subsets k edges =
+  if k = 0 then [ [] ]
+  else
+    match edges with
+    | [] -> [ [] ]
+    | e :: rest ->
+        let without = subsets k rest in
+        let with_e = List.map (fun s -> e :: s) (subsets (k - 1) rest) in
+        without @ with_e
+
+let run ?(k = 1) inst =
+  if Array.length inst.Instance.classes <> 1 then
+    invalid_arg "Ffc.run: single traffic class only";
+  if k < 0 || k > 2 then
+    invalid_arg "Ffc.run: failure protection level must be 0, 1 or 2";
+  let g = inst.Instance.graph in
+  let np = Array.length inst.Instance.pairs in
+  let model = Lp_model.create ~name:"ffc" () in
+  let x =
+    Array.init np (fun i ->
+        Array.map (fun _ -> Lp_model.add_var model ()) inst.Instance.tunnels.(0).(i))
+  in
+  let flows = Instance.flows_of_class inst 0 in
+  (* one concurrent scale factor: every flow is granted s * d_f, the
+     "bandwidth guaranteed for all flows" form of FFC's admission *)
+  let s = Lp_model.add_var model ~ub:1. ~obj:(-1.) () in
+  (* capacity of the no-failure reservations *)
+  let per_edge = Array.make (Graph.nedges g) [] in
+  Array.iteri
+    (fun i ts ->
+      Array.iteri
+        (fun ti (t : Flexile_net.Tunnels.t) ->
+          Array.iter
+            (fun e -> per_edge.(e) <- (x.(i).(ti), 1.) :: per_edge.(e))
+            t.Flexile_net.Tunnels.path)
+        ts)
+    inst.Instance.tunnels.(0);
+  Array.iteri
+    (fun e coeffs ->
+      if coeffs <> [] then
+        ignore
+          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+             coeffs))
+    per_edge;
+  (* robustness: for every set S of <= k links, the tunnels surviving S
+     must still cover b_f.  Only links appearing in the flow's own
+     tunnels can hurt it, so the enumeration stays small. *)
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. then begin
+        let i = f.Instance.pair in
+        let ts = inst.Instance.tunnels.(0).(i) in
+        let edges =
+          Array.to_list ts
+          |> List.concat_map (fun (t : Flexile_net.Tunnels.t) ->
+                 Array.to_list t.Flexile_net.Tunnels.path)
+          |> List.sort_uniq compare
+        in
+        List.iter
+          (fun dead ->
+            let coeffs =
+              Array.to_list ts
+              |> List.mapi (fun ti (t : Flexile_net.Tunnels.t) ->
+                     let survives =
+                       not
+                         (Array.exists
+                            (fun e -> List.mem e dead)
+                            t.Flexile_net.Tunnels.path)
+                     in
+                     if survives then Some (x.(i).(ti), 1.) else None)
+              |> List.filter_map (fun o -> o)
+            in
+            (* s * d_f - sum of surviving x <= 0 *)
+            ignore
+              (Lp_model.add_row model Lp_model.Le 0.
+                 ((s, f.Instance.demand)
+                 :: List.map (fun (v, c) -> (v, -.c)) coeffs)))
+          (subsets k edges)
+      end)
+    flows;
+  let sol = Simplex.solve model in
+  if sol.Simplex.status <> Simplex.Optimal then failwith "Ffc.run: LP failed";
+  let scale = sol.Simplex.x.(s) in
+  let granted = Array.make (Instance.nflows inst) 0. in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      granted.(f.Instance.fid) <- scale *. f.Instance.demand)
+    flows;
+  let allocation = Array.map (Array.map (fun v -> sol.Simplex.x.(v))) x in
+  let losses = Instance.alloc_losses inst in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      for q = 0 to Instance.nscenarios inst - 1 do
+        if f.Instance.demand <= 0. then losses.(f.Instance.fid).(q) <- 0.
+        else begin
+          let surviving =
+            Array.fold_left
+              (fun acc ti -> acc +. allocation.(f.Instance.pair).(ti))
+              0.
+              inst.Instance.alive_tunnels.(q).(0).(f.Instance.pair)
+          in
+          let delivered = Float.min granted.(f.Instance.fid) surviving in
+          losses.(f.Instance.fid).(q) <-
+            Float.max 0. (Float.min 1. (1. -. (delivered /. f.Instance.demand)))
+        end
+      done)
+    inst.Instance.flows;
+  { losses; granted; allocation }

@@ -1,0 +1,726 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Mip = Flexile_lp.Mip
+module Graph = Flexile_net.Graph
+module Failure_model = Flexile_failure.Failure_model
+
+let src = Logs.Src.create "flexile.offline" ~doc:"Flexile offline phase"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  max_iterations : int;
+  hamming_limit : int option;
+  gamma : float option;
+  share_cuts : bool;
+  prune : bool;
+  warm_start : bool;
+  master : Mip.options;
+}
+
+let default_config =
+  {
+    max_iterations = 5;
+    hamming_limit = None;
+    gamma = None;
+    share_cuts = true;
+    prune = true;
+    (* The paper's warm-start acceleration targets Gurobi, where dual
+       restarts amortize factorization.  With this repository's
+       simplex (incremental pricing, dense inverse) a cold primal
+       solve is ~30x faster than a dual restart between dissimilar
+       scenarios — the `--fig ablation` bench measures exactly this —
+       so cold solves are the default.  The RHS-only reformulation
+       still matters: it is what makes cut sharing (22) valid. *)
+    warm_start = false;
+    master = { Mip.default_options with node_limit = 400; time_limit = 30. };
+  }
+
+type iterate = {
+  iteration : int;
+  z : bool array array;
+  losses : Instance.losses;
+  penalty : float;
+}
+
+type result = {
+  iterates : iterate list;
+  best : iterate;
+  lower_bound : float;
+  subproblems_solved : int;
+  wall_time : float;
+}
+
+(* A Benders cut: Penalty >= const(q') + sum_f coef_f * z_{f,q'},
+   where const depends on the target scenario only through the
+   capacity (and gamma) right-hand sides. *)
+type dual_info = {
+  coef : (int * float) array;  (** (fid, dual of the criticality row) *)
+  fixed : float;  (** bound term + demand-row contribution *)
+  cap_duals : (int * float) array;  (** (edge, dual of its capacity row) *)
+  gamma_duals : (int * float) array;  (** (fid, dual of its gamma row) *)
+}
+
+type cut = { target : int; coef : (int * float) array; const : float }
+
+(* ------------------------------------------------------------------ *)
+(* Subproblem template: one model whose RHS is specialized per scenario *)
+(* ------------------------------------------------------------------ *)
+
+type template = {
+  model : Lp_model.t;
+  st : Simplex.t;
+  l_var : int array;  (** fid -> loss var or -1 *)
+  crit_row : int array;  (** fid -> criticality row or -1 *)
+  gamma_row : int array;  (** fid -> gamma row or -1 *)
+  cap_row : int array;  (** edge -> capacity row or -1 *)
+  demand_contrib : int array;  (** fid -> demand row or -1 *)
+  base_rhs : float array;
+}
+
+(* [sid]: specialize the template to one scenario's traffic matrix
+   (§4.4 demand scenarios); without it the template is shared across
+   scenarios and only the RHS varies. *)
+let build_template ?sid inst ~with_gamma =
+  let g = inst.Instance.graph in
+  let nk = Array.length inst.Instance.classes in
+  let np = Array.length inst.Instance.pairs in
+  let nf = Instance.nflows inst in
+  let model = Lp_model.create ~name:"flexile-sub" () in
+  let alphas =
+    Array.map
+      (fun (c : Instance.cls) ->
+        Lp_model.add_var model ~ub:1. ~obj:c.Instance.weight ())
+      inst.Instance.classes
+  in
+  (* x over ALL tunnels: failed tunnels are killed by zeroed capacity *)
+  let x =
+    Array.init nk (fun k ->
+        Array.init np (fun i ->
+            Array.map
+              (fun _ -> Lp_model.add_var model ())
+              inst.Instance.tunnels.(k).(i)))
+  in
+  let l_var = Array.make nf (-1) in
+  let crit_row = Array.make nf (-1) in
+  let gamma_row = Array.make nf (-1) in
+  let demand_contrib = Array.make nf (-1) in
+  (* tiny secondary objective on losses: ties in alpha are broken
+     toward serving every flow, so the subproblem's loss matrix is a
+     meaningful achievable outcome (and a sane cap for the online
+     phase), at the price of distorting the master bound by <= ~1e-3 *)
+  let eps = 1e-3 /. float_of_int (max 1 nf) in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. then begin
+        let fid = f.Instance.fid in
+        let demand =
+          match sid with
+          | Some s -> Instance.demand_in inst f s
+          | None -> f.Instance.demand
+        in
+        let lv = Lp_model.add_var model ~ub:1. ~obj:eps () in
+        l_var.(fid) <- lv;
+        if demand > 0. then begin
+          let coeffs =
+            (lv, demand)
+            :: Array.to_list
+                 (Array.mapi
+                    (fun ti _ -> (x.(f.Instance.cls).(f.Instance.pair).(ti), 1.))
+                    inst.Instance.tunnels.(f.Instance.cls).(f.Instance.pair))
+          in
+          demand_contrib.(fid) <-
+            Lp_model.add_row model Lp_model.Ge demand coeffs
+        end;
+        crit_row.(fid) <-
+          Lp_model.add_row model Lp_model.Ge (-1.)
+            [ (alphas.(f.Instance.cls), 1.); (lv, -1.) ];
+        if with_gamma then
+          (* l_f <= gamma + scenloss_q; rhs set per scenario *)
+          gamma_row.(fid) <- Lp_model.add_row model Lp_model.Le 2. [ (lv, 1.) ]
+      end)
+    inst.Instance.flows;
+  let per_edge = Array.make (Graph.nedges g) [] in
+  for k = 0 to nk - 1 do
+    for i = 0 to np - 1 do
+      Array.iteri
+        (fun ti (t : Flexile_net.Tunnels.t) ->
+          Array.iter
+            (fun e -> per_edge.(e) <- (x.(k).(i).(ti), 1.) :: per_edge.(e))
+            t.Flexile_net.Tunnels.path)
+        inst.Instance.tunnels.(k).(i)
+    done
+  done;
+  let cap_row = Array.make (Graph.nedges g) (-1) in
+  Array.iteri
+    (fun e coeffs ->
+      if coeffs <> [] then
+        cap_row.(e) <-
+          Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+            coeffs)
+    per_edge;
+  let base_rhs =
+    Array.init (Lp_model.nrows model) (fun r -> Lp_model.rhs model r)
+  in
+  {
+    model;
+    st = Simplex.make model;
+    l_var;
+    crit_row;
+    gamma_row;
+    cap_row;
+    demand_contrib;
+    base_rhs;
+  }
+
+let scenario_rhs inst tpl ~sid ~z ~scen_loss_opt ~gamma =
+  let rhs = Array.copy tpl.base_rhs in
+  let scen = inst.Instance.scenarios.(sid) in
+  Array.iteri
+    (fun e row ->
+      if row >= 0 then
+        rhs.(row) <-
+          (if scen.Failure_model.edge_alive.(e) then
+             inst.Instance.graph.Graph.edges.(e).Graph.capacity
+           else 0.))
+    tpl.cap_row;
+  Array.iter
+    (fun (f : Instance.flow) ->
+      let fid = f.Instance.fid in
+      if tpl.crit_row.(fid) >= 0 then
+        rhs.(tpl.crit_row.(fid)) <- (if z.(fid).(sid) then 0. else -1.);
+      if tpl.gamma_row.(fid) >= 0 then
+        rhs.(tpl.gamma_row.(fid)) <-
+          (match gamma with
+          | Some gm when Instance.flow_connected inst f sid ->
+              Float.min 1. (gm +. scen_loss_opt.(sid))
+          | _ -> 2.))
+    inst.Instance.flows;
+  rhs
+
+(* Extract the dual information needed for cuts (21)/(22). *)
+let extract_dual inst tpl (sol : Simplex.solution) rhs =
+  let y = sol.Simplex.row_duals in
+  let coef = ref [] and gamma_duals = ref [] in
+  let fixed = ref sol.Simplex.bound_term in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      let fid = f.Instance.fid in
+      if tpl.crit_row.(fid) >= 0 then begin
+        let d = y.(tpl.crit_row.(fid)) in
+        if Float.abs d > 1e-10 then coef := (fid, d) :: !coef
+      end;
+      if tpl.demand_contrib.(fid) >= 0 then
+        fixed := !fixed +. (y.(tpl.demand_contrib.(fid)) *. rhs.(tpl.demand_contrib.(fid)));
+      if tpl.gamma_row.(fid) >= 0 then begin
+        let d = y.(tpl.gamma_row.(fid)) in
+        if Float.abs d > 1e-10 then gamma_duals := (fid, d) :: !gamma_duals
+      end)
+    inst.Instance.flows;
+  let cap_duals = ref [] in
+  Array.iteri
+    (fun e row ->
+      if row >= 0 && Float.abs y.(row) > 1e-10 then
+        cap_duals := (e, y.(row)) :: !cap_duals)
+    tpl.cap_row;
+  {
+    coef = Array.of_list !coef;
+    fixed = !fixed;
+    cap_duals = Array.of_list !cap_duals;
+    gamma_duals = Array.of_list !gamma_duals;
+  }
+
+(* Instantiate a dual certificate as a cut for a target scenario. *)
+let cut_for inst di ~target ~scen_loss_opt ~gamma =
+  let scen = inst.Instance.scenarios.(target) in
+  let const = ref di.fixed in
+  Array.iter
+    (fun (e, d) ->
+      let cap =
+        if scen.Failure_model.edge_alive.(e) then
+          inst.Instance.graph.Graph.edges.(e).Graph.capacity
+        else 0.
+      in
+      const := !const +. (d *. cap))
+    di.cap_duals;
+  Array.iter
+    (fun (fid, d) ->
+      let f = inst.Instance.flows.(fid) in
+      let bound =
+        match gamma with
+        | Some gm when Instance.flow_connected inst f target ->
+            Float.min 1. (gm +. scen_loss_opt.(target))
+        | _ -> 2.
+      in
+      const := !const +. (d *. bound))
+    di.gamma_duals;
+  (* criticality rows contribute d * (z - 1) *)
+  Array.iter (fun (_, d) -> const := !const -. d) di.coef;
+  { target; coef = di.coef; const = !const }
+
+(* ------------------------------------------------------------------ *)
+(* Master problem                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* z variables exist only for (flow, scenario) pairs where the flow is
+   connected, has demand, the scenario is not perfect, AND the pair
+   carries a nonzero coefficient in some cut.  Everywhere else being
+   critical is free under every cut learned so far, so z is fixed to 1
+   and folded into the coverage RHS.  Perfect-scenario elimination plus
+   this cut-support restriction is what keeps the master tiny even for
+   two-class instances with tens of thousands of (flow, scenario)
+   combinations. *)
+let solve_master inst ~config ~cuts ~z_prev ~coverage_target ~perfect =
+  let nf = Instance.nflows inst and nq = Instance.nscenarios inst in
+  let in_cuts = Hashtbl.create 256 in
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun (fid, d) ->
+          if Float.abs d > 1e-10 then Hashtbl.replace in_cuts (fid, c.target) ())
+        c.coef)
+    cuts;
+  let model = Lp_model.create ~name:"flexile-master" () in
+  let wsum =
+    Array.fold_left
+      (fun a (c : Instance.cls) -> a +. c.Instance.weight)
+      0. inst.Instance.classes
+  in
+  (* headroom above wsum: subproblem objectives include the tiny
+     loss-refinement term, so cuts can slightly exceed the pure
+     penalty range *)
+  let penalty = Lp_model.add_var model ~ub:(wsum +. 0.01) ~obj:1. () in
+  let zv = Array.make_matrix nf nq (-1) in
+  let binaries = ref [] in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. then begin
+        let fid = f.Instance.fid in
+        let fixed_mass = ref 0. in
+        for q = 0 to nq - 1 do
+          if Instance.flow_connected inst f q then
+            if perfect.(q) || not (Hashtbl.mem in_cuts (fid, q)) then
+              fixed_mass :=
+                !fixed_mass +. inst.Instance.scenarios.(q).Failure_model.prob
+            else begin
+              (* minuscule reward for keeping scenarios critical: the
+                 master should never drop a scenario gratuitously
+                 (robustness to probability estimation error, §4.4) *)
+              zv.(fid).(q) <-
+                Lp_model.add_var model ~ub:1.
+                  ~obj:(-1e-7 *. inst.Instance.scenarios.(q).Failure_model.prob)
+                  ();
+              binaries := zv.(fid).(q) :: !binaries
+            end
+        done;
+        let coeffs =
+          List.filter_map
+            (fun q ->
+              if zv.(fid).(q) >= 0 then
+                Some
+                  ( zv.(fid).(q),
+                    inst.Instance.scenarios.(q).Failure_model.prob )
+              else None)
+            (List.init nq (fun q -> q))
+        in
+        let rhs = coverage_target.(fid) -. !fixed_mass in
+        if coeffs <> [] then ignore (Lp_model.add_row model Lp_model.Ge rhs coeffs)
+      end)
+    inst.Instance.flows;
+  List.iter
+    (fun c ->
+      let coeffs =
+        (penalty, 1.)
+        :: (Array.to_list c.coef
+           |> List.filter_map (fun (fid, d) ->
+                  if zv.(fid).(c.target) >= 0 then
+                    Some (zv.(fid).(c.target), -.d)
+                  else None))
+      in
+      (* account for z fixed to 0 (disconnected): those terms vanish *)
+      ignore (Lp_model.add_row model Lp_model.Ge c.const coeffs))
+    cuts;
+  (match config.hamming_limit with
+  | None -> ()
+  | Some limit ->
+      let coeffs = ref [] and ones = ref 0 in
+      Array.iter
+        (fun (f : Instance.flow) ->
+          let fid = f.Instance.fid in
+          for q = 0 to nq - 1 do
+            if zv.(fid).(q) >= 0 then
+              if z_prev.(fid).(q) then begin
+                incr ones;
+                coeffs := (zv.(fid).(q), -1.) :: !coeffs
+              end
+              else coeffs := (zv.(fid).(q), 1.) :: !coeffs
+          done)
+        inst.Instance.flows;
+      ignore
+        (Lp_model.add_row model Lp_model.Le
+           (float_of_int (limit - !ones))
+           !coeffs));
+  (* Rounding heuristic: round the LP relaxation, repair per-flow
+     coverage greedily, then locally improve by turning off the
+     costliest critical flags in the scenarios driving the max cut.
+     Respects the Hamming budget when one is configured. *)
+  let prob q = inst.Instance.scenarios.(q).Failure_model.prob in
+  let eval_z z =
+    List.fold_left
+      (fun acc c ->
+        let v =
+          Array.fold_left
+            (fun a (fid, d) -> if z.(fid).(c.target) then a +. d else a)
+            c.const c.coef
+        in
+        Float.max acc v)
+      0. cuts
+  in
+  let coverage_of z fid =
+    let mass = ref 0. in
+    for q = 0 to nq - 1 do
+      (* perfect scenarios are implicitly critical *)
+      if z.(fid).(q) || (perfect.(q) && z_prev.(fid).(q)) then
+        mass := !mass +. prob q
+    done;
+    !mass
+  in
+  let hamming_ok z =
+    match config.hamming_limit with
+    | None -> true
+    | Some limit ->
+        let dist = ref 0 in
+        Array.iteri
+          (fun fid row ->
+            Array.iteri
+              (fun q v -> if v >= 0 && z.(fid).(q) <> z_prev.(fid).(q) then incr dist)
+              row)
+          zv;
+        !dist <= limit
+  in
+  let finish z =
+    if not (hamming_ok z) then None
+    else begin
+      let cand = Array.make (Lp_model.nvars model) 0. in
+      cand.(penalty) <- eval_z z;
+      Array.iteri
+        (fun fid row ->
+          Array.iteri (fun q v -> if v >= 0 && z.(fid).(q) then cand.(v) <- 1.) row)
+        zv;
+      Some cand
+    end
+  in
+  let heuristic lp_x =
+    let z = Array.map Array.copy z_prev in
+    (* LP-guided rounding on the master's variables *)
+    Array.iteri
+      (fun fid row ->
+        Array.iteri (fun q v -> if v >= 0 then z.(fid).(q) <- lp_x.(v) >= 0.5) row)
+      zv;
+    (* coverage repair: re-add the scenarios with the best mass, highest
+       fractional value first *)
+    Array.iter
+      (fun (f : Instance.flow) ->
+        if f.Instance.demand > 0. then begin
+          let fid = f.Instance.fid in
+          let mass = ref (coverage_of z fid) in
+          if !mass < coverage_target.(fid) then begin
+            let key q = (lp_x.(zv.(fid).(q)), prob q) in
+            let candidates =
+              List.init nq (fun q -> q)
+              |> List.filter (fun q -> zv.(fid).(q) >= 0 && not z.(fid).(q))
+              |> List.sort (fun a b -> compare (key b) (key a))
+            in
+            List.iter
+              (fun q ->
+                if !mass < coverage_target.(fid) then begin
+                  z.(fid).(q) <- true;
+                  mass := !mass +. prob q
+                end)
+              candidates
+          end
+        end)
+      inst.Instance.flows;
+    (* local improvement: drop the heaviest on-flag of a max-achieving
+       cut while the flow's coverage allows it *)
+    let continue_ = ref true in
+    let steps = ref 0 in
+    while !continue_ && !steps < 2 * nq do
+      incr steps;
+      continue_ := false;
+      let cur = eval_z z in
+      if cur > 1e-9 then begin
+        let best = ref None in
+        List.iter
+          (fun c ->
+            let v =
+              Array.fold_left
+                (fun a (fid, d) -> if z.(fid).(c.target) then a +. d else a)
+                c.const c.coef
+            in
+            if Float.abs (v -. cur) < 1e-12 then
+              Array.iter
+                (fun (fid, d) ->
+                  if
+                    z.(fid).(c.target) && d > 1e-9
+                    && coverage_of z fid -. prob c.target
+                       >= coverage_target.(fid) -. 1e-12
+                  then
+                    match !best with
+                    | Some (_, _, d') when d' >= d -> ()
+                    | _ -> best := Some (fid, c.target, d))
+                c.coef)
+          cuts;
+        match !best with
+        | Some (fid, q, _) ->
+            z.(fid).(q) <- false;
+            if eval_z z < cur -. 1e-12 then continue_ := true
+            else z.(fid).(q) <- true
+        | None -> ()
+      end
+    done;
+    finish z
+  in
+  let r =
+    Mip.solve ~options:config.master ~heuristic
+      ~binaries:(Array.of_list !binaries) model
+  in
+  match r.Mip.status with
+  | Mip.Optimal | Mip.Feasible ->
+      let z = Array.make_matrix nf nq false in
+      Array.iter
+        (fun (f : Instance.flow) ->
+          let fid = f.Instance.fid in
+          if f.Instance.demand > 0. then
+            for q = 0 to nq - 1 do
+              if zv.(fid).(q) >= 0 then z.(fid).(q) <- r.Mip.x.(zv.(fid).(q)) > 0.5
+              else if Instance.flow_connected inst f q then
+                (* fixed critical: perfect scenario or no cut mentions it *)
+                z.(fid).(q) <- true
+            done)
+        inst.Instance.flows;
+      Some (z, r.Mip.bound)
+  | Mip.Infeasible | Mip.Limit -> None
+
+let selfcheck_subproblems inst =
+  let nf = Instance.nflows inst and nq = Instance.nscenarios inst in
+  let tpl = build_template inst ~with_gamma:false in
+  let scen_loss_opt = Array.make nq 0. in
+  let z =
+    Array.init nf (fun fid ->
+        let f = inst.Instance.flows.(fid) in
+        Array.init nq (fun q ->
+            f.Instance.demand > 0. && Instance.flow_connected inst f q))
+  in
+  let bad = ref [] in
+  for sid = 0 to nq - 1 do
+    let rhs = scenario_rhs inst tpl ~sid ~z ~scen_loss_opt ~gamma:None in
+    let warm = Simplex.resolve_rhs tpl.st rhs in
+    Array.iteri (fun r v -> Lp_model.set_rhs tpl.model r v) rhs;
+    let cold = Simplex.solve tpl.model in
+    let agree =
+      match (warm.Simplex.status, cold.Simplex.status) with
+      | Simplex.Optimal, Simplex.Optimal ->
+          Float.abs (warm.Simplex.obj -. cold.Simplex.obj)
+          <= 1e-5 *. (1. +. Float.abs cold.Simplex.obj)
+      | a, b -> a = b
+    in
+    if not agree then bad := (sid, warm.Simplex.obj, cold.Simplex.obj) :: !bad
+  done;
+  List.rev !bad
+
+(* ------------------------------------------------------------------ *)
+(* Main loop (Algorithm 1)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let achieved_penalty inst losses = Metrics.total_weighted_penalty inst losses
+
+let solve ?(config = default_config) inst =
+  let t0 = Unix.gettimeofday () in
+  let nf = Instance.nflows inst and nq = Instance.nscenarios inst in
+  let scen_loss_opt =
+    match config.gamma with
+    | Some _ -> Scenbest.scen_loss_optimal inst
+    | None -> Array.make nq 0.
+  in
+  let tpl = build_template inst ~with_gamma:(config.gamma <> None) in
+  let coverage_target =
+    Array.map
+      (fun (f : Instance.flow) ->
+        if f.Instance.demand > 0. then
+          Float.min
+            inst.Instance.classes.(f.Instance.cls).Instance.beta
+            (Instance.connected_mass inst f)
+          -. 1e-9
+        else 0.)
+      inst.Instance.flows
+  in
+  (* starting point: critical wherever connected *)
+  let z =
+    Array.init nf (fun fid ->
+        let f = inst.Instance.flows.(fid) in
+        Array.init nq (fun q ->
+            f.Instance.demand > 0. && Instance.flow_connected inst f q))
+  in
+  let losses = Instance.alloc_losses inst in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand <= 0. then
+        Array.fill losses.(f.Instance.fid) 0 nq 0.)
+    inst.Instance.flows;
+  let cuts = ref [] in
+  let perfect = Array.make nq false in
+  let last_z_col = Array.make nq None in
+  let duals_pool = ref [] in
+  let subproblems = ref 0 in
+  (* with per-scenario traffic matrices the LP's left-hand side varies,
+     so warm restarts and cross-scenario cuts do not apply *)
+  let has_demand_factors = inst.Instance.demand_factors <> None in
+  let share_cuts = config.share_cuts && not has_demand_factors in
+  let solve_scenario sid =
+    let tpl_q =
+      if has_demand_factors then
+        build_template ~sid inst ~with_gamma:(config.gamma <> None)
+      else tpl
+    in
+    let rhs =
+      scenario_rhs inst tpl_q ~sid ~z ~scen_loss_opt ~gamma:config.gamma
+    in
+    let sol =
+      if config.warm_start && not has_demand_factors then
+        Simplex.resolve_rhs tpl_q.st rhs
+      else begin
+        Array.iteri (fun r v -> Lp_model.set_rhs tpl_q.model r v) rhs;
+        Simplex.solve tpl_q.model
+      end
+    in
+    incr subproblems;
+    match sol.Simplex.status with
+    | Simplex.Optimal ->
+        Array.iter
+          (fun (f : Instance.flow) ->
+            let fid = f.Instance.fid in
+            if tpl_q.l_var.(fid) >= 0 then
+              losses.(fid).(sid) <-
+                Float.max 0. (Float.min 1. sol.Simplex.x.(tpl_q.l_var.(fid))))
+          inst.Instance.flows;
+        let di = extract_dual inst tpl_q sol rhs in
+        Some (sol.Simplex.obj, di)
+    | _ ->
+        Log.warn (fun m -> m "subproblem %d did not solve" sid);
+        None
+  in
+  let iterates = ref [] in
+  let stopwatch = ref (Unix.gettimeofday ()) in
+  let lap what =
+    let now = Unix.gettimeofday () in
+    Log.info (fun m -> m "%s took %.2fs" what (now -. !stopwatch));
+    stopwatch := now
+  in
+  let record iteration =
+    let it =
+      {
+        iteration;
+        z = Array.map Array.copy z;
+        losses = Array.map Array.copy losses;
+        penalty = achieved_penalty inst losses;
+      }
+    in
+    iterates := it :: !iterates;
+    it
+  in
+  let master_bound = ref 0. in
+  let iteration = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !iteration < config.max_iterations do
+    (* --- subproblem sweep --- *)
+    duals_pool := [];
+    for sid = 0 to nq - 1 do
+      let col = Array.init nf (fun fid -> z.(fid).(sid)) in
+      let unchanged =
+        config.prune
+        && (match last_z_col.(sid) with Some c -> c = col | None -> false)
+      in
+      if not ((config.prune && perfect.(sid)) || unchanged) then begin
+        match solve_scenario sid with
+        | Some (obj, di) ->
+            last_z_col.(sid) <- Some col;
+            if obj <= 1e-9 && !iteration = 0 then perfect.(sid) <- true
+            else begin
+              cuts :=
+                cut_for inst di ~target:sid ~scen_loss_opt ~gamma:config.gamma
+                :: !cuts;
+              if List.length !duals_pool < 4 then duals_pool := di :: !duals_pool
+            end
+        | None -> ()
+      end
+    done;
+    (* cut sharing: certificates from solved scenarios bound the rest *)
+    if share_cuts then
+      List.iter
+        (fun di ->
+          for sid = 0 to nq - 1 do
+            if perfect.(sid) then ()
+            else
+              cuts :=
+                cut_for inst di ~target:sid ~scen_loss_opt ~gamma:config.gamma
+                :: !cuts
+          done)
+        !duals_pool;
+    lap (Printf.sprintf "iteration %d subproblem sweep" !iteration);
+    let it = record !iteration in
+    Log.info (fun m ->
+        m "iteration %d: penalty %.4f (%d cuts)" !iteration it.penalty
+          (List.length !cuts));
+    incr iteration;
+    if !iteration >= config.max_iterations then stop := true
+    else begin
+      (* keep only the most recent few cuts per target scenario to keep
+         the master lean *)
+      let kept = Hashtbl.create nq in
+      let pruned_cuts =
+        List.filter
+          (fun c ->
+            let n = try Hashtbl.find kept c.target with Not_found -> 0 in
+            if n >= 3 then false
+            else begin
+              Hashtbl.replace kept c.target (n + 1);
+              true
+            end)
+          !cuts
+      in
+      cuts := pruned_cuts;
+      match
+        solve_master inst ~config ~cuts:pruned_cuts ~z_prev:z ~coverage_target
+          ~perfect
+      with
+      | None ->
+          Log.warn (fun m -> m "master did not produce a solution; stopping");
+          stop := true
+      | Some (z_new, bound) ->
+          master_bound := Float.max !master_bound bound;
+          let same = ref true in
+          for fid = 0 to nf - 1 do
+            if z_new.(fid) <> z.(fid) then same := false;
+            Array.blit z_new.(fid) 0 z.(fid) 0 nq
+          done;
+          let best_so_far =
+            List.fold_left (fun a it -> Float.min a it.penalty) infinity
+              !iterates
+          in
+          if !same || best_so_far <= !master_bound +. 1e-7 then stop := true
+    end
+  done;
+  let iterates = List.rev !iterates in
+  let best =
+    List.fold_left
+      (fun acc it -> if it.penalty < acc.penalty then it else acc)
+      (List.hd iterates) iterates
+  in
+  {
+    iterates;
+    best;
+    lower_bound = !master_bound;
+    subproblems_solved = !subproblems;
+    wall_time = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,62 @@
+(** Flexile's offline phase (§4.2): choose the critical failure
+    scenarios of every flow so that the weighted sum of per-class
+    percentile losses (PercLoss) is minimized.
+
+    Implements Algorithm 1 with the paper's accelerations:
+    - the problem is decomposed into a master MIP proposing critical
+      scenarios and one small LP subproblem per scenario;
+    - subproblems use the RHS-only reformulation (17)-(18), so a single
+      simplex instance is warm-restarted across scenarios with the dual
+      simplex, and one scenario's dual solution yields valid cuts for
+      every other scenario (cut sharing, eq. (22));
+    - perfect scenarios (all flows served losslessly) and scenarios
+      whose critical-flow set did not change are pruned;
+    - a Hamming-distance constraint (23) stabilizes the master;
+    - the starting point sets a flow's critical scenarios to all
+      scenarios in which it is connected, which already guarantees a
+      solution at least as good as TeaVar or ScenBest (Proposition 1). *)
+
+type config = {
+  max_iterations : int;  (** outer iterations; the paper uses 5 *)
+  hamming_limit : int option;
+      (** max flips of z per iteration; [None] disables (23) *)
+  gamma : float option;
+      (** §4.4: bound every flow's loss in scenario q by
+          [gamma + optimal ScenLoss of q] *)
+  share_cuts : bool;  (** generate cuts (22) for unsolved scenarios *)
+  prune : bool;
+      (** prune perfect and unchanged scenarios (§4.2); disable only
+          for ablation studies *)
+  warm_start : bool;
+      (** dual-simplex warm restarts across scenarios (§4.2); disable
+          only for ablation studies *)
+  master : Flexile_lp.Mip.options;
+}
+
+val default_config : config
+
+type iterate = {
+  iteration : int;  (** 0 is the connectivity starting point *)
+  z : bool array array;  (** criticality: flow id x scenario id *)
+  losses : Instance.losses;
+      (** losses of the subproblems' routing under this z — an
+          achievable routing, so the penalty is a true upper bound *)
+  penalty : float;  (** achieved weighted PercLoss of this iterate *)
+}
+
+type result = {
+  iterates : iterate list;  (** chronological, starting point first *)
+  best : iterate;  (** lowest achieved penalty *)
+  lower_bound : float;  (** best master bound (valid if master exact) *)
+  subproblems_solved : int;
+  wall_time : float;
+}
+
+val solve : ?config:config -> Instance.t -> result
+
+val selfcheck_subproblems : Instance.t -> (int * float * float) list
+(** Regression harness: solve every scenario's subproblem (all
+    connected flows critical) both via the warm dual-simplex path used
+    by {!solve} and via a cold solve; returns [(sid, warm, cold)] for
+    scenarios whose objectives disagree beyond tolerance.  Empty on a
+    healthy solver. *)

@@ -1,0 +1,35 @@
+let allocate inst ~sid ~critical ~offline_loss =
+  let class_order =
+    List.init (Array.length inst.Instance.classes) (fun k -> k)
+  in
+  let prefrozen =
+    Array.to_list inst.Instance.flows
+    |> List.filter_map (fun (f : Instance.flow) ->
+           let fid = f.Instance.fid in
+           if f.Instance.demand > 0. && critical fid then
+             (* tiny slack absorbs LP tolerance without weakening the
+                offline guarantee materially *)
+             Some (fid, Float.min 1. (offline_loss fid +. 1e-7))
+           else None)
+  in
+  Scen_lp.maxmin_losses inst ~sid ~class_order ~prefrozen ()
+
+let run inst ~offline =
+  let best = offline.Flexile_offline.best in
+  let losses = Instance.alloc_losses inst in
+  for sid = 0 to Instance.nscenarios inst - 1 do
+    let results =
+      allocate inst ~sid
+        ~critical:(fun fid -> best.Flexile_offline.z.(fid).(sid))
+        ~offline_loss:(fun fid -> best.Flexile_offline.losses.(fid).(sid))
+    in
+    List.iter
+      (fun (fid, v) -> losses.(fid).(sid) <- Float.max 0. (Float.min 1. v))
+      results
+  done;
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand <= 0. then
+        Array.fill losses.(f.Instance.fid) 0 (Instance.nscenarios inst) 0.)
+    inst.Instance.flows;
+  losses

@@ -1,0 +1,9 @@
+type result = {
+  losses : Instance.losses;
+  offline : Flexile_offline.result;
+}
+
+let run ?config inst =
+  let offline = Flexile_offline.solve ?config inst in
+  let losses = Flexile_online.run inst ~offline in
+  { losses; offline }

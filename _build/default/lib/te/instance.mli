@@ -1,0 +1,84 @@
+(** A traffic-engineering problem instance: topology, traffic classes
+    with their flows and tunnels, and the enumerated failure scenarios.
+
+    A {e flow} is the traffic of one (class, site-pair); this matches
+    the paper, which has K * N(N-1)/2 flows.  Classes are ordered by
+    decreasing priority (class 0 is served first by the priority-aware
+    schemes). *)
+
+type cls = {
+  cname : string;
+  beta : float;  (** availability target, e.g. 0.999 *)
+  weight : float;  (** penalty weight w_k in the Flexile objective *)
+}
+
+type flow = {
+  fid : int;  (** dense index across all classes *)
+  cls : int;
+  pair : int;  (** index into [pairs] *)
+  src : int;
+  dst : int;
+  demand : float;
+}
+
+type t = {
+  graph : Flexile_net.Graph.t;
+  classes : cls array;
+  pairs : (int * int) array;
+  tunnels : Flexile_net.Tunnels.t array array array;
+      (** class -> pair -> tunnels *)
+  flows : flow array;
+  scenarios : Flexile_failure.Failure_model.scenario array;
+  alive_tunnels : int array array array array;
+      (** scenario -> class -> pair -> indices of alive tunnels *)
+  demand_factors : float array array option;
+      (** §4.4 "more general scenarios": optional per-scenario demand
+          multipliers, [factors.(sid).(fid)]; [None] means every
+          scenario carries the base traffic matrix *)
+}
+
+val make :
+  graph:Flexile_net.Graph.t ->
+  classes:cls array ->
+  pairs:(int * int) array ->
+  tunnels:Flexile_net.Tunnels.t array array array ->
+  demands:float array array ->
+  ?demand_factors:float array array ->
+  scenarios:Flexile_failure.Failure_model.scenario array ->
+  unit ->
+  t
+(** [demands.(k).(i)] is the demand of class [k] on pair [i].
+    Validates dimensions and tunnel endpoints.  [demand_factors]
+    optionally scales each flow's demand per scenario (sid x fid). *)
+
+val demand_in : t -> flow -> int -> float
+(** Effective demand of a flow in a scenario (base demand times the
+    scenario's demand factor, if any). *)
+
+val with_classes : t -> cls array -> t
+(** Same instance with replaced class metadata (same class count);
+    used to fill in the design target beta once connectivity of the
+    sampled scenarios is known. *)
+
+val nflows : t -> int
+val nscenarios : t -> int
+val flows_of_class : t -> int -> flow array
+
+val flow_connected : t -> flow -> int -> bool
+(** Does the flow have at least one alive tunnel in scenario [sid]? *)
+
+val connected_mass : t -> flow -> float
+(** Total probability of enumerated scenarios in which the flow is
+    connected. *)
+
+val max_beta_single : t -> float
+(** The paper's single-class design target: the largest beta such that
+    every flow is connected in scenarios of total mass >= beta, i.e.
+    min over flows of {!connected_mass}. *)
+
+(** Post-analysis loss matrix: [losses.(fid).(sid)] is the loss
+    fraction (in [0,1]) of a flow in a scenario. *)
+type losses = float array array
+
+val alloc_losses : t -> losses
+(** Fresh loss matrix initialized to 1.0 (nothing delivered). *)

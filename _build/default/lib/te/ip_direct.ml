@@ -1,0 +1,148 @@
+module Lp_model = Flexile_lp.Lp_model
+module Mip = Flexile_lp.Mip
+module Graph = Flexile_net.Graph
+module Failure_model = Flexile_failure.Failure_model
+
+type result = {
+  losses : Instance.losses;
+  penalty : float;
+  bound : float;
+  optimal : bool;
+  wall_time : float;
+}
+
+let solve ?(options = { Flexile_lp.Mip.default_options with node_limit = 2000; time_limit = 3600. })
+    inst =
+  let t0 = Unix.gettimeofday () in
+  let g = inst.Instance.graph in
+  let nk = Array.length inst.Instance.classes in
+  let np = Array.length inst.Instance.pairs in
+  let nq = Instance.nscenarios inst in
+  let nf = Instance.nflows inst in
+  let model = Lp_model.create ~name:"flexile-ip" () in
+  let alphas =
+    Array.map
+      (fun (c : Instance.cls) ->
+        Lp_model.add_var model ~ub:1. ~obj:c.Instance.weight ())
+      inst.Instance.classes
+  in
+  let lv = Array.make_matrix nf nq (-1) in
+  let zv = Array.make_matrix nf nq (-1) in
+  let binaries = ref [] in
+  for q = 0 to nq - 1 do
+    (* per-scenario routing on alive tunnels *)
+    let x =
+      Array.init nk (fun k ->
+          Array.init np (fun i ->
+              let ts = inst.Instance.tunnels.(k).(i) in
+              let vars = Array.make (Array.length ts) (-1) in
+              Array.iter
+                (fun ti -> vars.(ti) <- Lp_model.add_var model ())
+                inst.Instance.alive_tunnels.(q).(k).(i);
+              vars))
+    in
+    let per_edge = Array.make (Graph.nedges g) [] in
+    for k = 0 to nk - 1 do
+      for i = 0 to np - 1 do
+        Array.iteri
+          (fun ti (t : Flexile_net.Tunnels.t) ->
+            let v = x.(k).(i).(ti) in
+            if v >= 0 then
+              Array.iter
+                (fun e -> per_edge.(e) <- (v, 1.) :: per_edge.(e))
+                t.Flexile_net.Tunnels.path)
+          inst.Instance.tunnels.(k).(i)
+      done
+    done;
+    Array.iteri
+      (fun e coeffs ->
+        if coeffs <> [] then
+          ignore
+            (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+               coeffs))
+      per_edge;
+    Array.iter
+      (fun (f : Instance.flow) ->
+        if f.Instance.demand > 0. then begin
+          let fid = f.Instance.fid in
+          let connected = Instance.flow_connected inst f q in
+          let dq = Instance.demand_in inst f q in
+          (* tiny loss objective: see Flexile_offline.build_template *)
+          let l =
+            if dq <= 0. then Lp_model.add_var model ~ub:0. ()
+            else
+              Lp_model.add_var model
+                ~lb:(if connected then 0. else 1.)
+                ~ub:1.
+                ~obj:(1e-3 /. float_of_int (max 1 (nf * nq)))
+                ()
+          in
+          lv.(fid).(q) <- l;
+          if connected && dq > 0. then begin
+            let coeffs =
+              (l, dq)
+              :: (Array.to_list inst.Instance.alive_tunnels.(q).(f.Instance.cls).(f.Instance.pair)
+                 |> List.map (fun ti ->
+                        (x.(f.Instance.cls).(f.Instance.pair).(ti), 1.)))
+            in
+            ignore (Lp_model.add_row model Lp_model.Ge dq coeffs);
+            (* z only where it can be 1 *)
+            let z = Lp_model.add_var model ~ub:1. () in
+            zv.(fid).(q) <- z;
+            binaries := z :: !binaries;
+            (* alpha_k >= l - 1 + z *)
+            ignore
+              (Lp_model.add_row model Lp_model.Ge (-1.)
+                 [ (alphas.(f.Instance.cls), 1.); (l, -1.); (z, -1.) ])
+          end
+        end)
+      inst.Instance.flows
+  done;
+  (* coverage (3) *)
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. then begin
+        let fid = f.Instance.fid in
+        let coeffs =
+          List.filter_map
+            (fun q ->
+              if zv.(fid).(q) >= 0 then
+                Some (zv.(fid).(q), inst.Instance.scenarios.(q).Failure_model.prob)
+              else None)
+            (List.init nq (fun q -> q))
+        in
+        let target =
+          Float.min
+            inst.Instance.classes.(f.Instance.cls).Instance.beta
+            (Instance.connected_mass inst f)
+          -. 1e-9
+        in
+        if coeffs <> [] then
+          ignore (Lp_model.add_row model Lp_model.Ge target coeffs)
+      end)
+    inst.Instance.flows;
+  let r = Mip.solve ~options ~binaries:(Array.of_list !binaries) model in
+  let losses = Instance.alloc_losses inst in
+  (match r.Mip.status with
+  | Mip.Optimal | Mip.Feasible ->
+      Array.iter
+        (fun (f : Instance.flow) ->
+          let fid = f.Instance.fid in
+          for q = 0 to nq - 1 do
+            if f.Instance.demand <= 0. then losses.(fid).(q) <- 0.
+            else if lv.(fid).(q) >= 0 then
+              losses.(fid).(q) <-
+                Float.max 0. (Float.min 1. r.Mip.x.(lv.(fid).(q)))
+          done)
+        inst.Instance.flows
+  | _ -> ());
+  {
+    losses;
+    penalty =
+      (match r.Mip.status with
+      | Mip.Optimal | Mip.Feasible -> r.Mip.obj
+      | _ -> infinity);
+    bound = r.Mip.bound;
+    optimal = r.Mip.status = Mip.Optimal;
+    wall_time = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,15 @@
+(** The exact MIP formulation (I) of §4.1, solved directly by
+    branch-and-bound.  This is the paper's "IP" scheme: it yields the
+    true optimal PercLoss but is only tractable on smaller instances
+    (the paper reports >1h for its largest topologies; here it is used
+    for the optimality-gap and solving-time experiments, Figs 14/15). *)
+
+type result = {
+  losses : Instance.losses;
+  penalty : float;  (** optimal (or best incumbent) weighted PercLoss *)
+  bound : float;  (** proven lower bound *)
+  optimal : bool;
+  wall_time : float;
+}
+
+val solve : ?options:Flexile_lp.Mip.options -> Instance.t -> result

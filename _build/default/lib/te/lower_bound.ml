@@ -1,0 +1,60 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Graph = Flexile_net.Graph
+
+(* Maximum volume a single flow can push over a subset of its tunnels
+   (each a fixed path) subject to edge capacities: a tiny LP per
+   (flow, scenario). *)
+let max_alone inst (f : Instance.flow) sid =
+  let alive = inst.Instance.alive_tunnels.(sid).(f.Instance.cls).(f.Instance.pair) in
+  if Array.length alive = 0 then 0.
+  else begin
+    let g = inst.Instance.graph in
+    let model = Lp_model.create ~name:"isolated" () in
+    let vars = Array.map (fun _ -> Lp_model.add_var model ~obj:(-1.) ()) alive in
+    let per_edge = Hashtbl.create 16 in
+    Array.iteri
+      (fun idx ti ->
+        let t = inst.Instance.tunnels.(f.Instance.cls).(f.Instance.pair).(ti) in
+        Array.iter
+          (fun e ->
+            let prev = try Hashtbl.find per_edge e with Not_found -> [] in
+            Hashtbl.replace per_edge e ((vars.(idx), 1.) :: prev))
+          t.Flexile_net.Tunnels.path)
+      alive;
+    Hashtbl.iter
+      (fun e coeffs ->
+        ignore
+          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+             coeffs))
+      per_edge;
+    (* cap at the demand so the LP stays bounded *)
+    ignore
+      (Lp_model.add_row model Lp_model.Le
+         (Instance.demand_in inst f sid)
+         (Array.to_list (Array.map (fun v -> (v, 1.)) vars)));
+    let sol = Simplex.solve model in
+    match sol.Simplex.status with
+    | Simplex.Optimal -> -.sol.Simplex.obj
+    | _ -> 0.
+  end
+
+let isolated_losses inst =
+  let losses = Instance.alloc_losses inst in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      for sid = 0 to Instance.nscenarios inst - 1 do
+        let demand = Instance.demand_in inst f sid in
+        if demand <= 0. then losses.(f.Instance.fid).(sid) <- 0.
+        else begin
+          let m = max_alone inst f sid in
+          losses.(f.Instance.fid).(sid) <-
+            Float.max 0. (Float.min 1. (1. -. (m /. demand)))
+        end
+      done)
+    inst.Instance.flows;
+  losses
+
+let perc_loss_lower_bound inst ~cls =
+  let iso = isolated_losses inst in
+  Metrics.perc_loss inst iso ~cls ()

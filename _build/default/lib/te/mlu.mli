@@ -1,0 +1,13 @@
+(** Minimum maximum-link-utilization routing over tunnels in the
+    no-failure state.  Used to scale gravity traffic matrices into the
+    paper's target MLU window [0.5, 0.7], and as the SMORE metric. *)
+
+val min_mlu :
+  graph:Flexile_net.Graph.t ->
+  tunnels:Flexile_net.Tunnels.t array array ->
+  demands:float array ->
+  float
+(** [min_mlu ~graph ~tunnels ~demands]: tunnels and demand per pair
+    (single class); all demand must be routed; returns the least
+    achievable MLU.  Raises [Failure] if some pair with positive demand
+    has no tunnel. *)

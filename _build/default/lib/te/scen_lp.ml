@@ -1,0 +1,275 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Graph = Flexile_net.Graph
+
+let src = Logs.Src.create "flexile.te" ~doc:"TE schemes"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type ctx = {
+  inst : Instance.t;
+  sid : int;
+  model : Lp_model.t;
+  x : Lp_model.var array array array;
+  l : Lp_model.var array;
+  demand_rows : Lp_model.row array;
+}
+
+let build inst ~sid =
+  let g = inst.Instance.graph in
+  let nk = Array.length inst.Instance.classes in
+  let np = Array.length inst.Instance.pairs in
+  let model = Lp_model.create ~name:(Printf.sprintf "scen-%d" sid) () in
+  (* bandwidth variables on alive tunnels *)
+  let x =
+    Array.init nk (fun k ->
+        Array.init np (fun i ->
+            let ts = inst.Instance.tunnels.(k).(i) in
+            let alive = inst.Instance.alive_tunnels.(sid).(k).(i) in
+            let vars = Array.make (Array.length ts) (-1) in
+            Array.iter
+              (fun ti ->
+                vars.(ti) <-
+                  Lp_model.add_var model
+                    ~name:(Printf.sprintf "x_%d_%d_%d" k i ti)
+                    ())
+              alive;
+            vars))
+  in
+  (* per-flow loss variables and demand coverage rows *)
+  let nf = Instance.nflows inst in
+  let l = Array.make nf (-1) in
+  let demand_rows = Array.make nf (-1) in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. then begin
+        let connected = Instance.flow_connected inst f sid in
+        let demand = Instance.demand_in inst f sid in
+        let lv =
+          if demand <= 0. then
+            (* nothing requested in this scenario: loss pinned to 0 *)
+            Lp_model.add_var model
+              ~name:(Printf.sprintf "l_%d" f.Instance.fid)
+              ~ub:0. ()
+          else
+            Lp_model.add_var model
+              ~name:(Printf.sprintf "l_%d" f.Instance.fid)
+              ~lb:(if connected then 0. else 1.)
+              ~ub:1. ()
+        in
+        l.(f.Instance.fid) <- lv;
+        if connected && demand > 0. then begin
+          let coeffs =
+            (lv, demand)
+            :: (Array.to_list inst.Instance.alive_tunnels.(sid).(f.Instance.cls).(f.Instance.pair)
+               |> List.map (fun ti -> (x.(f.Instance.cls).(f.Instance.pair).(ti), 1.)))
+          in
+          demand_rows.(f.Instance.fid) <-
+            Lp_model.add_row model Lp_model.Ge demand coeffs
+        end
+      end)
+    inst.Instance.flows;
+  (* capacity rows: tunnels crossing each edge *)
+  let per_edge = Array.make (Graph.nedges g) [] in
+  for k = 0 to nk - 1 do
+    for i = 0 to np - 1 do
+      let ts = inst.Instance.tunnels.(k).(i) in
+      Array.iteri
+        (fun ti (tun : Flexile_net.Tunnels.t) ->
+          let v = x.(k).(i).(ti) in
+          if v >= 0 then
+            Array.iter
+              (fun e -> per_edge.(e) <- (v, 1.) :: per_edge.(e))
+              tun.Flexile_net.Tunnels.path)
+        ts
+    done
+  done;
+  Array.iteri
+    (fun e coeffs ->
+      if coeffs <> [] then
+        ignore
+          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+             coeffs))
+    per_edge;
+  { inst; sid; model; x; l; demand_rows }
+
+let set_losses ctx losses values =
+  Array.iter
+    (fun (f : Instance.flow) ->
+      let fid = f.Instance.fid in
+      if f.Instance.demand <= 0. then losses.(fid).(ctx.sid) <- 0.
+      else if ctx.l.(fid) >= 0 then
+        losses.(fid).(ctx.sid) <- Float.max 0. (Float.min 1. values.(ctx.l.(fid))))
+    ctx.inst.Instance.flows
+
+let solve_min_weighted_max ctx ~flows ~frozen =
+  let lambda = Lp_model.add_var ctx.model ~ub:1. ~obj:1. () in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      if f.Instance.demand > 0. && ctx.l.(f.Instance.fid) >= 0 && flows f then
+        ignore
+          (Lp_model.add_row ctx.model Lp_model.Ge 0.
+             [ (lambda, 1.); (ctx.l.(f.Instance.fid), -1.) ]))
+    ctx.inst.Instance.flows;
+  List.iter
+    (fun (fid, cap) ->
+      if ctx.l.(fid) >= 0 then
+        Lp_model.set_bounds ctx.model ctx.l.(fid) ~lb:(Lp_model.lb ctx.model ctx.l.(fid))
+          ~ub:(Float.min 1. cap))
+    frozen;
+  let sol = Simplex.solve ctx.model in
+  match sol.Simplex.status with
+  | Simplex.Optimal -> Some sol.Simplex.x.(lambda)
+  | _ -> None
+
+(* SWAN-style max-min on flow loss.  One model per scenario, reused
+   across levels: each participating flow gets a row
+   [lambda - l_f >= -relax_f] whose RHS toggles between 0 (active) and
+   -2 (deactivated: trivially satisfied since l <= 1 <= lambda + 2). *)
+let maxmin_losses inst ~sid ~class_order ?(merge_classes = false)
+    ?(freeze_routing = false) ?(prefrozen = []) ?(max_levels = 12) () =
+  let ctx = build inst ~sid in
+  let model = ctx.model in
+  let lambda = Lp_model.add_var model ~ub:1. ~obj:1. () in
+  let nf = Instance.nflows inst in
+  let level_rows = Array.make nf (-1) in
+  let participating =
+    Array.to_list inst.Instance.flows
+    |> List.filter (fun (f : Instance.flow) ->
+           f.Instance.demand > 0. && List.mem f.Instance.cls class_order)
+  in
+  List.iter
+    (fun (f : Instance.flow) ->
+      let fid = f.Instance.fid in
+      if ctx.l.(fid) >= 0 then
+        level_rows.(fid) <-
+          Lp_model.add_row model Lp_model.Ge (-2.)
+            [ (lambda, 1.); (ctx.l.(fid), -1.) ])
+    participating;
+  List.iter
+    (fun (fid, cap) ->
+      if ctx.l.(fid) >= 0 && Lp_model.lb model ctx.l.(fid) <= cap then
+        Lp_model.set_bounds model ctx.l.(fid) ~lb:(Lp_model.lb model ctx.l.(fid))
+          ~ub:(Float.min 1. cap))
+    prefrozen;
+  let results = ref [] in
+  let freeze fid v =
+    if ctx.l.(fid) >= 0 then begin
+      let lb = Lp_model.lb model ctx.l.(fid) in
+      let ub = Float.min (Lp_model.ub model ctx.l.(fid)) (Float.max lb v) in
+      Lp_model.set_bounds model ctx.l.(fid) ~lb ~ub;
+      Lp_model.set_rhs model level_rows.(fid) (-2.);
+      results := (fid, ub) :: !results
+    end
+    else results := (fid, v) :: !results
+  in
+  let groups =
+    if merge_classes then [ class_order ]
+    else List.map (fun k -> [ k ]) class_order
+  in
+  List.iter
+    (fun group ->
+      let active =
+        ref
+          (List.filter_map
+             (fun (f : Instance.flow) ->
+               if not (List.mem f.Instance.cls group) then None
+               else if Instance.demand_in inst f sid <= 0. then begin
+                 results := (f.Instance.fid, 0.) :: !results;
+                 None
+               end
+               else if not (Instance.flow_connected inst f sid) then begin
+                 results := (f.Instance.fid, 1.) :: !results;
+                 None
+               end
+               else Some f.Instance.fid)
+             participating)
+      in
+      (* activate level rows for this class *)
+      List.iter (fun fid -> Lp_model.set_rhs model level_rows.(fid) 0.) !active;
+      let level = ref 0 in
+      let last_lambda = ref 1. in
+      let last_sol = ref None in
+      while !active <> [] && !level < max_levels do
+        incr level;
+        let sol = Simplex.solve model in
+        match sol.Simplex.status with
+        | Simplex.Optimal ->
+            last_sol := Some sol.Simplex.x;
+            let lam = Float.max 0. sol.Simplex.x.(lambda) in
+            last_lambda := lam;
+            if lam <= 1e-7 then begin
+              List.iter (fun fid -> freeze fid 0.) !active;
+              active := []
+            end
+            else begin
+              (* freeze the flows whose level rows are dual-binding:
+                 they are the ones that cannot do better than lam *)
+              let stuck, rest =
+                List.partition
+                  (fun fid ->
+                    sol.Simplex.row_duals.(level_rows.(fid)) > 1e-9)
+                  !active
+              in
+              if stuck <> [] then begin
+                List.iter (fun fid -> freeze fid lam) stuck;
+                active := rest
+              end
+              else begin
+                (* degenerate duals: fall back to the identification LP
+                   (minimize total active loss at level lam) *)
+                Lp_model.set_obj model lambda 0.;
+                Lp_model.set_bounds model lambda ~lb:0. ~ub:lam;
+                List.iter
+                  (fun fid -> Lp_model.set_obj model ctx.l.(fid) 1.)
+                  !active;
+                let sol2 = Simplex.solve model in
+                (match sol2.Simplex.status with
+                | Simplex.Optimal -> last_sol := Some sol2.Simplex.x
+                | _ -> ());
+                List.iter
+                  (fun fid -> Lp_model.set_obj model ctx.l.(fid) 0.)
+                  !active;
+                Lp_model.set_obj model lambda 1.;
+                Lp_model.set_bounds model lambda ~lb:0. ~ub:1.;
+                let stuck, rest =
+                  match sol2.Simplex.status with
+                  | Simplex.Optimal ->
+                      List.partition
+                        (fun fid -> sol2.Simplex.x.(ctx.l.(fid)) >= lam -. 1e-6)
+                        !active
+                  | _ -> (!active, [])
+                in
+                let stuck = if stuck = [] then !active else stuck in
+                List.iter (fun fid -> freeze fid lam) stuck;
+                active :=
+                  (match sol2.Simplex.status with
+                  | Simplex.Optimal -> rest
+                  | _ -> [])
+              end
+            end
+        | _ ->
+            Log.warn (fun m -> m "maxmin scenario %d: LP not optimal" sid);
+            List.iter (fun fid -> freeze fid 1.) !active;
+            active := []
+      done;
+      (* level budget exhausted: freeze the rest at the last level *)
+      List.iter (fun fid -> freeze fid !last_lambda) !active;
+      (* SWAN pins the routing of a class before serving lower classes *)
+      if freeze_routing then
+        match !last_sol with
+        | None -> ()
+        | Some xs ->
+            List.iter
+              (fun k ->
+                Array.iter
+                  (fun per_pair ->
+                    Array.iter
+                      (fun v ->
+                        if v >= 0 then
+                          Lp_model.set_bounds model v ~lb:xs.(v) ~ub:xs.(v))
+                      per_pair)
+                  ctx.x.(k))
+              group)
+    groups;
+  !results

@@ -1,0 +1,64 @@
+(** Shared per-scenario LP skeleton: bandwidth variables on the alive
+    tunnels of one failure scenario, per-flow loss variables, demand
+    coverage rows and link capacity rows.  Every scenario-local scheme
+    (ScenBest/SMORE, SWAN, Flexile's subproblem and online allocation)
+    builds on this. *)
+
+type ctx = {
+  inst : Instance.t;
+  sid : int;
+  model : Flexile_lp.Lp_model.t;
+  x : Flexile_lp.Lp_model.var array array array;
+      (** class -> pair -> tunnel index -> variable, or -1 if the
+          tunnel is dead in this scenario *)
+  l : Flexile_lp.Lp_model.var array;
+      (** flow id -> loss variable in [0,1], or -1 if the flow has zero
+          demand *)
+  demand_rows : Flexile_lp.Lp_model.row array;
+      (** flow id -> coverage row, or -1 *)
+}
+
+val build : Instance.t -> sid:int -> ctx
+(** Creates variables and rows:
+    - for each flow with positive demand:
+      [sum_t x_t + d_f * l_f >= d_f] over the flow's alive tunnels;
+    - for each edge: [sum of x crossing it <= capacity].
+    Disconnected flows get [l_f] fixed to 1. *)
+
+val set_losses : ctx -> Instance.losses -> float array -> unit
+(** Copy the solved loss values of this scenario into the loss matrix
+    (zero-demand flows are recorded as loss 0). *)
+
+val solve_min_weighted_max :
+  ctx ->
+  flows:(Instance.flow -> bool) ->
+  frozen:(int * float) list ->
+  float option
+(** Minimize the maximum loss over flows selected by [flows], holding
+    each [(fid, cap)] in [frozen] to loss at most [cap].  Returns the
+    optimal max loss, or [None] if infeasible (should not happen: loss
+    1 is always feasible).  The model is left with the added rows; use
+    a fresh [ctx] per call unless noted. *)
+
+val maxmin_losses :
+  Instance.t ->
+  sid:int ->
+  class_order:int list ->
+  ?merge_classes:bool ->
+  ?freeze_routing:bool ->
+  ?prefrozen:(int * float) list ->
+  ?max_levels:int ->
+  unit ->
+  (int * float) list
+(** SWAN-style iterative max-min on {e flow loss}, processing classes
+    in the given priority order (earlier classes are served first;
+    their resulting losses constrain later classes while routing is
+    re-decided jointly, the paper's §4.3 refinement of SWAN).
+    With [merge_classes] all listed classes are max-minned together as
+    one group (the single-class ScenBest/SMORE behaviour).  With
+    [freeze_routing] the tunnel split of each class is pinned before
+    lower classes are served — SWAN's behaviour, as opposed to the
+    joint re-routing used by ScenBest-Multi and Flexile.  [prefrozen]
+    forces upper bounds on specific flows' losses (used by Flexile's
+    online phase for critical flows).  Returns [(fid, loss)] for every
+    positive-demand flow of the listed classes. *)

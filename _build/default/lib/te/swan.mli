@@ -1,0 +1,12 @@
+(** The two SWAN variants of §6.
+
+    Both serve traffic classes in strict priority order and, unlike
+    ScenBest-Multi and Flexile, pin the routing of a class before
+    allocating residual capacity to lower classes.
+
+    - SWAN-Throughput maximizes each class's delivered volume, which
+      can starve long flows entirely (the A-B-C example of §6.2);
+    - SWAN-Maxmin approximates max-min fairness within each class. *)
+
+val run_throughput : Instance.t -> Instance.losses
+val run_maxmin : Instance.t -> Instance.losses

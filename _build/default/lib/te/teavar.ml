@@ -1,0 +1,126 @@
+module Lp_model = Flexile_lp.Lp_model
+module Simplex = Flexile_lp.Simplex
+module Row_gen = Flexile_lp.Row_gen
+module Graph = Flexile_net.Graph
+
+type result = {
+  losses : Instance.losses;
+  cvar : float;
+  allocation : float array array;
+  rounds : int;
+}
+
+(* Deliverable volume of pair [i] in scenario [sid] under static
+   allocation [x]: the sum of live-tunnel allocations (proportional
+   rescaling of dead tunnels' traffic onto live ones). *)
+let delivered inst x ~cls ~pair ~sid xval =
+  Array.fold_left
+    (fun acc ti -> acc +. xval x.(cls).(pair).(ti))
+    0.
+    inst.Instance.alive_tunnels.(sid).(cls).(pair)
+
+let run ?beta inst =
+  if Array.length inst.Instance.classes <> 1 then
+    invalid_arg "Teavar.run: single traffic class only";
+  if inst.Instance.demand_factors <> None then
+    invalid_arg "Teavar.run: per-scenario traffic matrices not supported";
+  let beta =
+    match beta with
+    | Some b -> b
+    | None -> inst.Instance.classes.(0).Instance.beta
+  in
+  let g = inst.Instance.graph in
+  let np = Array.length inst.Instance.pairs in
+  let nq = Instance.nscenarios inst in
+  let model = Lp_model.create ~name:"teavar" () in
+  let alpha = Lp_model.add_var model ~name:"alpha" ~obj:1. () in
+  let s =
+    Array.init nq (fun q ->
+        let p = inst.Instance.scenarios.(q).Flexile_failure.Failure_model.prob in
+        Lp_model.add_var model
+          ~name:(Printf.sprintf "s_%d" q)
+          ~obj:(p /. (1. -. beta))
+          ())
+  in
+  let x =
+    [|
+      Array.init np (fun i ->
+          Array.map
+            (fun _ -> Lp_model.add_var model ())
+            inst.Instance.tunnels.(0).(i));
+    |]
+  in
+  (* no-failure capacity: static allocations always fit *)
+  let per_edge = Array.make (Graph.nedges g) [] in
+  Array.iteri
+    (fun i ts ->
+      Array.iteri
+        (fun ti (t : Flexile_net.Tunnels.t) ->
+          Array.iter
+            (fun e -> per_edge.(e) <- (x.(0).(i).(ti), 1.) :: per_edge.(e))
+            t.Flexile_net.Tunnels.path)
+        ts)
+    inst.Instance.tunnels.(0);
+  Array.iteri
+    (fun e coeffs ->
+      if coeffs <> [] then
+        ignore
+          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+             coeffs))
+    per_edge;
+  (* lazy rows: s_q + alpha >= 1 - delivered(i, q) / d_i *)
+  let flows = Instance.flows_of_class inst 0 in
+  let violated xval =
+    (* all violated loss rows, worst first (Row_gen caps the batch) *)
+    let out = ref [] in
+    for q = 0 to nq - 1 do
+      Array.iter
+        (fun (f : Instance.flow) ->
+          if f.Instance.demand > 0. then begin
+            let del =
+              delivered inst x ~cls:0 ~pair:f.Instance.pair ~sid:q (fun v ->
+                  xval.(v))
+            in
+            let loss = 1. -. (del /. f.Instance.demand) in
+            let slack = xval.(s.(q)) +. xval.(alpha) -. loss in
+            if slack < -1e-7 then begin
+              let coeffs =
+                (s.(q), 1.) :: (alpha, 1.)
+                :: (Array.to_list
+                      inst.Instance.alive_tunnels.(q).(0).(f.Instance.pair)
+                   |> List.map (fun ti ->
+                          ( x.(0).(f.Instance.pair).(ti),
+                            1. /. f.Instance.demand )))
+              in
+              out :=
+                (-.slack, { Row_gen.sense = Lp_model.Ge; rhs = 1.; coeffs })
+                :: !out
+            end
+          end)
+        flows
+    done;
+    List.stable_sort (fun (a, _) (b, _) -> compare b a) !out |> List.map snd
+  in
+  let sol, rounds = Row_gen.solve ~violated model in
+  if sol.Simplex.status <> Simplex.Optimal then
+    failwith "Teavar.run: LP did not solve";
+  (* post-analysis losses *)
+  let losses = Instance.alloc_losses inst in
+  Array.iter
+    (fun (f : Instance.flow) ->
+      for q = 0 to nq - 1 do
+        if f.Instance.demand <= 0. then losses.(f.Instance.fid).(q) <- 0.
+        else begin
+          let del =
+            delivered inst x ~cls:0 ~pair:f.Instance.pair ~sid:q (fun v ->
+                sol.Simplex.x.(v))
+          in
+          losses.(f.Instance.fid).(q) <-
+            Float.max 0. (Float.min 1. (1. -. (del /. f.Instance.demand)))
+        end
+      done)
+    flows;
+  let allocation =
+    Array.map (Array.map (fun v -> sol.Simplex.x.(v))) x.(0)
+  in
+  { losses; cvar = sol.Simplex.obj; allocation; rounds }

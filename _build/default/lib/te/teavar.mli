@@ -1,0 +1,22 @@
+(** TeaVar (SIGCOMM'19), the paper's main percentile-aware baseline.
+
+    TeaVar allocates a {e static} bandwidth [x_t] to every tunnel
+    (traffic on failed tunnels is redistributed proportionally over the
+    pair's surviving tunnels, so the deliverable volume of a pair in a
+    scenario is the sum of its live tunnels' allocations) and minimizes
+    the {e Conditional} Value-at-Risk of the per-scenario worst-pair
+    loss at level beta.  Single traffic class, as in the paper.
+
+    The O(|pairs| * |scenarios|) loss-definition rows are generated
+    lazily (see {!Flexile_lp.Row_gen}); the returned solution is exact
+    for the full formulation when the row generation converges. *)
+
+type result = {
+  losses : Instance.losses;  (** post-analysis per-flow per-scenario *)
+  cvar : float;  (** optimal objective (CVaR of ScenLoss) *)
+  allocation : float array array;  (** pair -> tunnel -> x_t *)
+  rounds : int;  (** row-generation rounds *)
+}
+
+val run : ?beta:float -> Instance.t -> result
+(** [beta] defaults to the instance's class-0 target. *)

@@ -1,0 +1,1 @@
+lib/traffic/gravity.mli: Flexile_net Flexile_util

@@ -1,0 +1,29 @@
+let node_masses ~seed ~n =
+  Array.init n (fun _ -> Flexile_util.Prng.exponential seed ~rate:1.)
+
+let matrix ~seed ~graph ~pairs =
+  let masses = node_masses ~seed ~n:graph.Flexile_net.Graph.n in
+  let raw =
+    Array.map (fun (u, v) -> masses.(u) *. masses.(v)) pairs
+  in
+  let total = Array.fold_left ( +. ) 0. raw in
+  if total <= 0. then invalid_arg "Gravity.matrix: degenerate masses";
+  let mean = total /. float_of_int (Array.length pairs) in
+  Array.map (fun d -> d /. mean) raw
+
+let scale_to_mlu ~mlu ~target demands =
+  let m = mlu demands in
+  if not (m > 0.) then invalid_arg "Gravity.scale_to_mlu: MLU not positive";
+  let f = target /. m in
+  Array.map (fun d -> d *. f) demands
+
+let split_two_class ~seed ~low_scale demands =
+  let high = Array.make (Array.length demands) 0. in
+  let low = Array.make (Array.length demands) 0. in
+  Array.iteri
+    (fun i d ->
+      let frac = Flexile_util.Prng.uniform seed 0.2 0.8 in
+      high.(i) <- d *. frac;
+      low.(i) <- d *. (1. -. frac) *. low_scale)
+    demands;
+  (high, low)

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let of_string name = create (fnv1a name)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t label =
+  let h = fnv1a label in
+  create (Int64.logxor (next t) h)
+
+let float t =
+  (* 53 random bits into [0, 1) *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t p = float t < p
+
+let weibull t ~shape ~scale =
+  (* inverse-CDF sampling; guard against log 0 *)
+  let u = Float.max 1e-15 (1. -. float t) in
+  scale *. Float.pow (-.Float.log u) (1. /. shape)
+
+let exponential t ~rate =
+  let u = Float.max 1e-15 (1. -. float t) in
+  -.Float.log u /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose";
+  a.(int t (Array.length a))

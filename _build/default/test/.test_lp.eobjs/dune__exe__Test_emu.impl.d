@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Array Flexile_core Flexile_emu Flexile_net Flexile_scheme Flexile_te Flexile_util Instance Scenbest

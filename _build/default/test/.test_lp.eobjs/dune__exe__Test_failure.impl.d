@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Array Flexile_failure Flexile_net Flexile_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Flexile_lp Flexile_util Float List Lp_model Mip Presolve Printf QCheck QCheck_alcotest Row_gen Simplex

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Flexile_failure Flexile_net Flexile_te Float Instance List Metrics

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Catalog Flexile_net Flexile_util Gen Gml Graph List Paths Printf QCheck QCheck_alcotest Tunnels

@@ -1,0 +1,1 @@
+test/test_te_props.ml: Alcotest Array Flexile_core Flexile_net Flexile_scheme Flexile_te Flexile_util Float Gen Instance List Lower_bound Metrics Printf QCheck QCheck_alcotest Scenbest Teavar

@@ -1,0 +1,1 @@
+test/test_te_real.ml: Alcotest Array Flexile_core Flexile_failure Flexile_net Flexile_offline Flexile_scheme Flexile_te Instance Ip_direct Lazy List Lower_bound Metrics Printf Scenbest

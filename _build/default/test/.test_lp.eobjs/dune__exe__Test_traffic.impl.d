@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Flexile_net Flexile_te Flexile_traffic Flexile_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,94 @@
+(* Property tests of the TE layer on small randomized instances:
+   scheme-independent invariants that must hold on any input. *)
+
+open Flexile_te
+module Prng = Flexile_util.Prng
+
+(* A small random instance: 4-6 nodes ring + chords, unit-ish demands,
+   handful of scenarios. *)
+let random_instance seed_name =
+  let prng = Prng.of_string seed_name in
+  let n = 4 + Prng.int prng 3 in
+  let extra = Prng.int prng 3 in
+  let m = min (n + extra) (n * (n - 1) / 2) in
+  let graph =
+    Flexile_net.Gen.random_graph ~name:seed_name ~n ~m
+      ~seed:(Prng.split prng "topo")
+  in
+  let options =
+    {
+      Flexile_core.Builder.default_options with
+      Flexile_core.Builder.max_scenarios = 12;
+      max_pairs = 8;
+    }
+  in
+  Flexile_core.Builder.single_class ~options ~graph ()
+
+let losses_valid inst losses =
+  Array.for_all
+    (fun (f : Instance.flow) ->
+      Array.for_all
+        (fun l -> l >= -1e-9 && l <= 1. +. 1e-9)
+        losses.(f.Instance.fid))
+    inst.Instance.flows
+
+let qcheck_scheme_invariants =
+  QCheck.Test.make ~name:"scheme invariants on random instances" ~count:10
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun salt ->
+      let inst = random_instance (Printf.sprintf "prop-%d" salt) in
+      let smore = Scenbest.run inst in
+      let fx = (Flexile_scheme.run inst).Flexile_scheme.losses in
+      let lb = Lower_bound.perc_loss_lower_bound inst ~cls:0 in
+      let p_smore = Metrics.perc_loss inst smore ~cls:0 () in
+      let p_fx = Metrics.perc_loss inst fx ~cls:0 () in
+      losses_valid inst smore && losses_valid inst fx
+      (* Flexile never loses to the scenario-by-scenario optimum at the
+         percentile (Proposition 1 + iteration monotonicity) *)
+      && p_fx <= p_smore +. 1e-5
+      (* and never beats the isolated-flow lower bound *)
+      && p_fx >= lb -. 1e-5)
+
+let qcheck_maxmin_matches_minmax =
+  (* the first max-min level equals the min-max optimum in every
+     scenario: ScenLoss(maxmin) = optimal ScenLoss *)
+  QCheck.Test.make ~name:"maxmin first level is the min-max optimum" ~count:8
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun salt ->
+      let inst = random_instance (Printf.sprintf "mm-%d" salt) in
+      let maxmin = Scenbest.run inst in
+      let optimal = Scenbest.scen_loss_optimal inst in
+      let ok = ref true in
+      for sid = 0 to Instance.nscenarios inst - 1 do
+        let worst = Metrics.scen_loss inst maxmin ~sid () in
+        if Float.abs (worst -. optimal.(sid)) > 1e-5 then ok := false
+      done;
+      !ok)
+
+let qcheck_teavar_weaker_than_adaptive =
+  (* TeaVar's static split with proportional rescaling can never beat
+     the per-scenario optimal ScenLoss *)
+  QCheck.Test.make ~name:"teavar never beats per-scenario optimum" ~count:6
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun salt ->
+      let inst = random_instance (Printf.sprintf "tv-%d" salt) in
+      let tv = (Teavar.run inst).Teavar.losses in
+      let optimal = Scenbest.scen_loss_optimal inst in
+      let ok = ref true in
+      for sid = 0 to Instance.nscenarios inst - 1 do
+        let worst = Metrics.scen_loss inst tv ~sid () in
+        if worst < optimal.(sid) -. 1e-5 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "flexile_te_props"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_scheme_invariants;
+            qcheck_maxmin_matches_minmax;
+            qcheck_teavar_weaker_than_adaptive;
+          ] );
+    ]

@@ -1,0 +1,108 @@
+(* Tests for the utility layer: PRNG determinism and stream
+   independence, plus statistics not covered elsewhere. *)
+
+module Prng = Flexile_util.Prng
+module Stats = Flexile_util.Stats
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let test_prng_deterministic () =
+  let a = Prng.of_string "seed-x" and b = Prng.of_string "seed-x" in
+  for _ = 1 to 100 do
+    if Prng.next a <> Prng.next b then Alcotest.fail "streams diverged"
+  done
+
+let test_prng_distinct_names () =
+  let a = Prng.of_string "seed-x" and b = Prng.of_string "seed-y" in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next a = Prng.next b then incr same
+  done;
+  if !same > 0 then Alcotest.fail "different names produced equal outputs"
+
+let test_prng_split_independent () =
+  (* drawing from a child stream must not perturb the parent *)
+  let p1 = Prng.of_string "parent" in
+  let p2 = Prng.of_string "parent" in
+  let c1 = Prng.split p1 "child" and c2 = Prng.split p2 "child" in
+  let x1 = Prng.float c1 in
+  for _ = 1 to 10 do
+    ignore (Prng.float c1)
+  done;
+  let x2 = Prng.float c2 in
+  Alcotest.(check (float 0.)) "children equal at the start" x1 x2;
+  Alcotest.(check bool) "parents stay in sync" true
+    (Prng.next p1 = Prng.next p2)
+
+let test_prng_ranges () =
+  let p = Prng.of_string "ranges" in
+  for _ = 1 to 1000 do
+    let f = Prng.float p in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of [0,1)";
+    let i = Prng.int p 7 in
+    if i < 0 || i >= 7 then Alcotest.fail "int out of range"
+  done
+
+let test_prng_uniformity () =
+  (* crude: mean of uniforms near 0.5 *)
+  let p = Prng.of_string "uniformity" in
+  let n = 20_000 in
+  let s = ref 0. in
+  for _ = 1 to n do
+    s := !s +. Prng.float p
+  done;
+  let mean = !s /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.02 then
+    Alcotest.failf "mean %.4f too far from 0.5" mean
+
+let test_weibull_positive () =
+  let p = Prng.of_string "weibull" in
+  for _ = 1 to 1000 do
+    let x = Prng.weibull p ~shape:0.8 ~scale:0.001 in
+    if x <= 0. || Float.is_nan x then Alcotest.fail "weibull sample invalid"
+  done
+
+let test_shuffle_permutation () =
+  let p = Prng.of_string "shuffle" in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.shuffle p b;
+  Array.sort compare b;
+  Alcotest.(check bool) "is a permutation" true (a = b)
+
+let test_weighted_cdf () =
+  let cdf = Stats.weighted_cdf [| (0.3, 0.2); (0.1, 0.5); (0.2, 0.3) |] in
+  match cdf with
+  | [ (v1, c1); (v2, c2); (v3, c3) ] ->
+      Alcotest.(check (float 1e-9)) "v1" 0.1 v1;
+      Alcotest.(check (float 1e-9)) "c1" 0.5 c1;
+      Alcotest.(check (float 1e-9)) "v2" 0.2 v2;
+      Alcotest.(check (float 1e-9)) "c2" 0.8 c2;
+      Alcotest.(check (float 1e-9)) "v3" 0.3 v3;
+      Alcotest.(check (float 1e-9)) "c3" 1.0 c3
+  | _ -> Alcotest.fail "unexpected cdf length"
+
+let test_fraction_leq () =
+  let xs = [| 0.1; 0.5; 0.9; 0.5 |] in
+  Alcotest.(check (float 1e-9)) "half" 0.75 (Stats.fraction_leq xs 0.5);
+  Alcotest.(check (float 1e-9)) "none" 0. (Stats.fraction_leq xs 0.05)
+
+let () =
+  Alcotest.run "flexile_util"
+    [
+      ( "prng",
+        [
+          quick "deterministic" test_prng_deterministic;
+          quick "distinct names" test_prng_distinct_names;
+          quick "split independence" test_prng_split_independent;
+          quick "ranges" test_prng_ranges;
+          quick "uniformity" test_prng_uniformity;
+          quick "weibull" test_weibull_positive;
+          quick "shuffle is a permutation" test_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          quick "weighted cdf" test_weighted_cdf;
+          quick "fraction_leq" test_fraction_leq;
+        ] );
+    ]
