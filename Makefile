@@ -1,0 +1,22 @@
+.PHONY: all build test bench verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Tier-1 verification: full build, the test suite, and a smoke run of
+# the micro-benchmarks (exercises the parallel sweep at jobs 1 and 4).
+verify:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --micro
+
+clean:
+	dune clean

@@ -6,11 +6,15 @@
      dune exec bench/main.exe                 -- all figures, quick profile
      dune exec bench/main.exe -- --fig 11     -- a single figure
      dune exec bench/main.exe -- --full       -- all 20 topologies (slow)
-     dune exec bench/main.exe -- --micro      -- Bechamel kernels only *)
+     dune exec bench/main.exe -- --micro      -- Bechamel kernels only
+     dune exec bench/main.exe -- --jobs 4     -- domain-parallel sweeps
+     dune exec bench/main.exe -- --json out.json  -- machine-readable timings *)
 
 open Flexile_core
+module Parallel = Flexile_util.Parallel
 
-let micro_benchmarks () =
+(* Bechamel kernels; returns [(name, ms_per_run)] for the JSON dump. *)
+let micro_benchmarks ~jobs () =
   print_endline "\n==================== micro-benchmarks (Bechamel) ====================";
   let open Bechamel in
   let inst = Builder.of_name ~options:{ Builder.default_options with Builder.max_scenarios = 40 } "Sprint" in
@@ -28,8 +32,26 @@ let micro_benchmarks () =
                {
                  Flexile_te.Flexile_offline.default_config with
                  Flexile_te.Flexile_offline.max_iterations = 1;
+                 jobs;
                }
              inst)))
+  in
+  (* parallel-sweep scaling: the same ScenBest sweep at 1 and 4 worker
+     domains (a smaller instance so both fit the time quota) *)
+  let sweep_inst =
+    Builder.of_name
+      ~options:
+        {
+          Builder.default_options with
+          Builder.max_scenarios = 24;
+          max_pairs = 60;
+        }
+      "Sprint"
+  in
+  let sweep_at n =
+    Test.make
+      ~name:(Printf.sprintf "scenbest-sweep-j%d" n)
+      (Staged.stage (fun () -> ignore (Flexile_te.Scenbest.run ~jobs:n sweep_inst)))
   in
   let simplex_kernel =
     let model = Flexile_lp.Lp_model.create () in
@@ -50,7 +72,10 @@ let micro_benchmarks () =
   let open Bechamel.Toolkit in
   let tests =
     Test.make_grouped ~name:"flexile"
-      [ simplex_kernel; scenbest_scenario; subproblem_sweep ]
+      [
+        simplex_kernel; scenbest_scenario; subproblem_sweep; sweep_at 1;
+        sweep_at 4;
+      ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
@@ -59,17 +84,61 @@ let micro_benchmarks () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, stats) ->
       match Analyze.OLS.estimates stats with
-      | Some [ est ] -> Printf.printf "  %-36s %12.3f ms/run\n" name (est /. 1e6)
-      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+      | Some [ est ] ->
+          let ms = est /. 1e6 in
+          Printf.printf "  %-36s %12.3f ms/run\n" name ms;
+          Some (name, ms)
+      | _ ->
+          Printf.printf "  %-36s (no estimate)\n" name;
+          None)
     (List.sort compare rows)
+
+(* ---- machine-readable dump (--json FILE) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~profile_name ~jobs ~figures ~micro =
+  let oc = open_out path in
+  let item fmt = Printf.ksprintf (fun s -> output_string oc s) fmt in
+  let entries f xs =
+    List.iteri (fun i x -> if i > 0 then item ","; f x) xs
+  in
+  item "{\"profile\":\"%s\",\"jobs\":%d,\"figures\":[" (json_escape profile_name)
+    jobs;
+  entries
+    (fun (name, seconds) ->
+      item "{\"name\":\"%s\",\"seconds\":%.6f}" (json_escape name) seconds)
+    figures;
+  item "],\"micro\":[";
+  entries
+    (fun (name, ms) ->
+      item "{\"name\":\"%s\",\"ms_per_run\":%.6f}" (json_escape name) ms)
+    micro;
+  item "]}\n";
+  close_out oc;
+  Printf.printf "\nwrote timings to %s\n" path
 
 let () =
   let fig = ref "all" in
   let full = ref false in
   let micro = ref false in
+  let jobs = ref 0 in
+  let json = ref "" in
   let args =
     [
       ( "--fig",
@@ -78,6 +147,10 @@ let () =
       );
       ("--full", Arg.Set full, "use all 20 topologies (slow)");
       ("--micro", Arg.Set micro, "run only the Bechamel micro-benchmarks");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "worker domains for scenario sweeps (0 = auto/FLEXILE_JOBS)" );
+      ("--json", Arg.Set_string json, "dump figure + micro timings to FILE");
     ]
   in
   Arg.parse args (fun _ -> ()) "flexile benchmark harness";
@@ -88,6 +161,7 @@ let () =
     | Some v -> ( match int_of_string_opt v with Some i -> i | None -> current)
     | None -> current
   in
+  let jobs = if !jobs <> 0 then !jobs else getenv_int "FLEXILE_JOBS" 0 in
   let profile =
     {
       profile with
@@ -97,26 +171,50 @@ let () =
       emu_runs = getenv_int "FLEXILE_BENCH_EMU_RUNS" profile.Figures.emu_runs;
       cvar_scenarios =
         getenv_int "FLEXILE_BENCH_CVAR_SCENARIOS" profile.Figures.cvar_scenarios;
+      jobs;
     }
   in
-  if !micro then micro_benchmarks ()
+  let profile_name = if !full then "full" else "quick" in
+  Printf.printf "flexile bench: profile=%s jobs=%d (effective %d)\n" profile_name
+    jobs
+    (Parallel.resolve_jobs (Some jobs));
+  let fig_timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    fig_timings := (name, Unix.gettimeofday () -. t0) :: !fig_timings
+  in
+  let micro_rows = ref [] in
+  let run_micro () = micro_rows := micro_benchmarks ~jobs () in
+  let figure_table =
+    [
+      ("motivation", fun _p -> Figures.motivation ());
+      ("table2", fun _p -> Figures.table2 ());
+      ("5", Figures.fig5);
+      ("6", Figures.fig6);
+      ("9", Figures.fig9);
+      ("10", Figures.fig10);
+      ("11", Figures.fig11);
+      ("12", Figures.fig12);
+      ("13", Figures.fig13);
+      ("14", Figures.fig14);
+      ("15", Figures.fig15);
+      ("18", Figures.fig18);
+      ("scenloss", Figures.scenloss);
+      ("ablation", Figures.ablation);
+    ]
+  in
+  if !micro then run_micro ()
   else begin
     (match !fig with
-    | "all" -> Figures.all profile
-    | "motivation" -> Figures.motivation ()
-    | "table2" -> Figures.table2 ()
-    | "5" -> Figures.fig5 profile
-    | "6" -> Figures.fig6 profile
-    | "9" -> Figures.fig9 profile
-    | "10" -> Figures.fig10 profile
-    | "11" -> Figures.fig11 profile
-    | "12" -> Figures.fig12 profile
-    | "13" -> Figures.fig13 profile
-    | "14" -> Figures.fig14 profile
-    | "15" -> Figures.fig15 profile
-    | "18" -> Figures.fig18 profile
-    | "scenloss" -> Figures.scenloss profile
-    | "ablation" -> Figures.ablation profile
-    | other -> Printf.printf "unknown figure: %s\n" other);
-    if !fig = "all" then micro_benchmarks ()
-  end
+    | "all" ->
+        List.iter (fun (name, f) -> timed name (fun () -> f profile)) figure_table
+    | other -> (
+        match List.assoc_opt other figure_table with
+        | Some f -> timed other (fun () -> f profile)
+        | None -> Printf.printf "unknown figure: %s\n" other));
+    if !fig = "all" then run_micro ()
+  end;
+  if !json <> "" then
+    write_json !json ~profile_name ~jobs ~figures:(List.rev !fig_timings)
+      ~micro:!micro_rows

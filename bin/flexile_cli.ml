@@ -31,6 +31,13 @@ let pairs_arg =
   let doc = "Maximum number of site pairs (sampled deterministically)." in
   Arg.(value & opt int 240 & info [ "max-pairs" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-scenario sweeps (0 = auto: FLEXILE_JOBS or \
+     one per core).  Results are identical for every value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let build_instance ?(two = false) ?(max_scenarios = 150) ?(max_pairs = 240) name =
   let options =
     {
@@ -73,7 +80,7 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "gamma" ]
            ~doc:"Bound non-critical flows' loss to gamma + per-scenario optimum (section 4.4).")
   in
-  let run () name two max_scenarios max_pairs iterations gamma =
+  let run () name two max_scenarios max_pairs iterations gamma jobs =
     let inst = build_instance ~two ~max_scenarios ~max_pairs name in
     print_instance inst;
     let config =
@@ -81,6 +88,7 @@ let solve_cmd =
         Flexile_te.Flexile_offline.default_config with
         Flexile_te.Flexile_offline.max_iterations = iterations;
         gamma;
+        jobs;
       }
     in
     let r = Flexile_te.Flexile_scheme.run ~config inst in
@@ -95,7 +103,7 @@ let solve_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ iterations $ gamma)
+          $ scenarios_arg $ pairs_arg $ iterations $ gamma $ jobs_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run Flexile (offline + online) on a topology.") term
 
@@ -106,7 +114,7 @@ let compare_cmd =
     let doc = "Comma-separated schemes (default: Flexile,SMORE,SWAN-Maxmin)." in
     Arg.(value & opt string "Flexile,SMORE,SWAN-Maxmin" & info [ "schemes" ] ~doc)
   in
-  let run () name two max_scenarios max_pairs schemes =
+  let run () name two max_scenarios max_pairs schemes jobs =
     let inst = build_instance ~two ~max_scenarios ~max_pairs name in
     print_instance inst;
     String.split_on_char ',' schemes
@@ -115,7 +123,7 @@ let compare_cmd =
            | None -> Printf.printf "unknown scheme: %s\n" s
            | Some scheme -> (
                try
-                 let losses = Flexile_core.Schemes.run scheme inst in
+                 let losses = Flexile_core.Schemes.run ~jobs scheme inst in
                  report inst (Flexile_core.Schemes.name scheme) losses
                with Flexile_core.Schemes.Timeout _ ->
                  Printf.printf "%-16s TLE (size guard)\n"
@@ -123,7 +131,7 @@ let compare_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ schemes_arg)
+          $ scenarios_arg $ pairs_arg $ schemes_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare TE schemes on a topology.") term
 
@@ -156,16 +164,19 @@ let scale_cmd =
   let scheme_arg =
     Arg.(value & opt string "Flexile" & info [ "scheme" ] ~doc:"Scheme to search.")
   in
-  let run () name scheme =
+  let run () name scheme jobs =
     match Flexile_core.Schemes.of_string scheme with
     | None -> Printf.printf "unknown scheme: %s\n" scheme
     | Some scheme ->
         let graph = Flexile_net.Catalog.by_name name in
-        let s = Flexile_core.Max_scale.search ~scheme ~graph () in
+        let options =
+          { Flexile_core.Builder.default_options with Flexile_core.Builder.jobs }
+        in
+        let s = Flexile_core.Max_scale.search ~options ~scheme ~graph () in
         Printf.printf "%s on %s: max low-priority scale with zero 99%%ile loss = %.2f\n"
           (Flexile_core.Schemes.name scheme) name s
   in
-  let term = Term.(const run $ verbose_term $ topology_arg $ scheme_arg) in
+  let term = Term.(const run $ verbose_term $ topology_arg $ scheme_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "scale" ~doc:"Fig 18: max sustainable low-priority traffic scale.")
     term
@@ -179,13 +190,13 @@ let emulate_cmd =
   let runs_arg =
     Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Independent emulation runs.")
   in
-  let run () name two max_scenarios max_pairs scheme runs =
+  let run () name two max_scenarios max_pairs scheme runs jobs =
     match Flexile_core.Schemes.of_string scheme with
     | None -> Printf.printf "unknown scheme: %s\n" scheme
     | Some scheme ->
         let inst = build_instance ~two ~max_scenarios ~max_pairs name in
         print_instance inst;
-        let model = Flexile_core.Schemes.run scheme inst in
+        let model = Flexile_core.Schemes.run ~jobs scheme inst in
         report inst (Flexile_core.Schemes.name scheme ^ " (model)") model;
         for i = 1 to runs do
           let seed = Flexile_util.Prng.of_string (Printf.sprintf "emu-%d" i) in
@@ -205,7 +216,7 @@ let emulate_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ scheme_arg $ runs_arg)
+          $ scenarios_arg $ pairs_arg $ scheme_arg $ runs_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "emulate" ~doc:"Emulate a scheme's allocation with discretization.")

@@ -18,6 +18,7 @@ type options = {
   low_beta : float;
   high_weight : float;
   median_failure_prob : float;
+  jobs : int;
 }
 
 let default_options =
@@ -33,6 +34,7 @@ let default_options =
     low_beta = 0.99;
     high_weight = 100.;
     median_failure_prob = 0.001;
+    jobs = 0;
   }
 
 let sample_pairs ~seed ~max_pairs graph =

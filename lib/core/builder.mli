@@ -21,6 +21,9 @@ type options = {
   low_beta : float;  (** low-priority design target, default 0.99 *)
   high_weight : float;  (** class weight of high-priority traffic, default 100. *)
   median_failure_prob : float;  (** Weibull median, default 0.001 *)
+  jobs : int;
+      (** worker domains for scheme sweeps run on the built instance
+          (0 = auto, see {!Flexile_te.Scenario_engine}). Default 0 *)
 }
 
 val default_options : options

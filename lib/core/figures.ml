@@ -11,6 +11,7 @@ type profile = {
   emu_runs : int;
   cvar_scenarios : int;
   ip_time_limit : float;
+  jobs : int;
 }
 
 let quick =
@@ -23,6 +24,7 @@ let quick =
     emu_runs = 3;
     cvar_scenarios = 30;
     ip_time_limit = 60.;
+    jobs = 0;
   }
 
 let full =
@@ -46,6 +48,7 @@ let options_of p ~max_scenarios =
     Builder.default_options with
     Builder.max_scenarios;
     max_pairs = p.max_pairs;
+    jobs = p.jobs;
   }
 
 (* Figures share instances and scheme runs (Figs 5/6/9 all exercise
@@ -76,16 +79,18 @@ let build_two p ?(max_scenarios = p.max_scenarios) name =
         name)
 
 (* Memoizing scheme runner; falls back to an uncached run for
-   instances built outside build_single/build_two. *)
-let run_scheme scheme inst =
+   instances built outside build_single/build_two.  The cache key
+   ignores [jobs]: sweep results are deterministic across job counts
+   (see Scenario_engine), so only wall time differs. *)
+let run_scheme ?(jobs = 0) scheme inst =
   match Hashtbl.find_opt inst_keys inst with
-  | None -> Schemes.run scheme inst
+  | None -> Schemes.run ~jobs scheme inst
   | Some ikey -> (
       let key = Schemes.name scheme ^ "@" ^ ikey in
       match Hashtbl.find_opt loss_cache key with
       | Some l -> l
       | None ->
-          let l = Schemes.run scheme inst in
+          let l = Schemes.run ~jobs scheme inst in
           Hashtbl.replace loss_cache key l;
           l)
 
@@ -143,9 +148,9 @@ let fig5 p =
   Printf.printf "  design target beta = %.6f\n" beta;
   let schemes =
     [
-      ("Teavar", run_scheme Schemes.Teavar inst);
-      ("ScenBest", run_scheme Schemes.Smore inst);
-      ("Flexile", run_scheme Schemes.Flexile inst);
+      ("Teavar", run_scheme ~jobs:p.jobs Schemes.Teavar inst);
+      ("ScenBest", run_scheme ~jobs:p.jobs Schemes.Smore inst);
+      ("Flexile", run_scheme ~jobs:p.jobs Schemes.Flexile inst);
     ]
   in
   Printf.printf "  %-10s" "fraction";
@@ -166,11 +171,11 @@ let fig5 p =
 let fig6 p =
   section "Fig 6: per-scenario loss penalty vs ScenBest (IBM)";
   let inst = build_single p "IBM" in
-  let baseline = run_scheme Schemes.Smore inst in
+  let baseline = run_scheme ~jobs:p.jobs Schemes.Smore inst in
   let rows =
     [
-      ("Flexile", run_scheme Schemes.Flexile inst);
-      ("Teavar", run_scheme Schemes.Teavar inst);
+      ("Flexile", run_scheme ~jobs:p.jobs Schemes.Flexile inst);
+      ("Teavar", run_scheme ~jobs:p.jobs Schemes.Teavar inst);
     ]
   in
   Printf.printf "  %-10s %12s %12s %12s %12s\n" "scheme" "@0.9" "@0.99" "@0.999"
@@ -214,9 +219,9 @@ let fig9 p =
       inst2.Instance.classes;
     runs
   in
-  let fx2 = run_scheme Schemes.Flexile inst2 in
+  let fx2 = run_scheme ~jobs:p.jobs Schemes.Flexile inst2 in
   let runs_fx = report2 "Flexile" fx2 in
-  let _ = report2 "SWAN-Maxmin" (run_scheme Schemes.Swan_maxmin inst2) in
+  let _ = report2 "SWAN-Maxmin" (run_scheme ~jobs:p.jobs Schemes.Swan_maxmin inst2) in
   (* (b) single class: Flexile vs SMORE vs Teavar *)
   let inst1 = build_single p "IBM" in
   Printf.printf "  (b) single class at beta=%.5f\n"
@@ -229,9 +234,9 @@ let fig9 p =
       (List.fold_left Float.min infinity vals)
       (List.fold_left Float.max 0. vals)
   in
-  report1 "Flexile" (run_scheme Schemes.Flexile inst1);
-  report1 "SMORE" (run_scheme Schemes.Smore inst1);
-  report1 "Teavar" (run_scheme Schemes.Teavar inst1);
+  report1 "Flexile" (run_scheme ~jobs:p.jobs Schemes.Flexile inst1);
+  report1 "SMORE" (run_scheme ~jobs:p.jobs Schemes.Smore inst1);
+  report1 "Teavar" (run_scheme ~jobs:p.jobs Schemes.Teavar inst1);
   (* (c) discretization gap *)
   Printf.printf "  (c) emulation vs model (Flexile, two classes):\n";
   List.iteri
@@ -250,9 +255,9 @@ let fig10 p =
   List.iter
     (fun name ->
       let inst = build_two p name in
-      let fx = pct (perc inst (run_scheme Schemes.Flexile inst) 1) in
-      let mm = pct (perc inst (run_scheme Schemes.Swan_maxmin inst) 1) in
-      let tp = pct (perc inst (run_scheme Schemes.Swan_throughput inst) 1) in
+      let fx = pct (perc inst (run_scheme ~jobs:p.jobs Schemes.Flexile inst) 1) in
+      let mm = pct (perc inst (run_scheme ~jobs:p.jobs Schemes.Swan_maxmin inst) 1) in
+      let tp = pct (perc inst (run_scheme ~jobs:p.jobs Schemes.Swan_throughput inst) 1) in
       fx_all := fx :: !fx_all;
       mm_all := mm :: !mm_all;
       tp_all := tp :: !tp_all;
@@ -303,10 +308,10 @@ let fig12 p =
             let options = options_of p ~max_scenarios:p.max_scenarios in
             Builder.single_class ~options ~graph ())
       in
-      let smore = pct (perc inst (run_scheme Schemes.Smore inst) 0) in
-      let fx = pct (perc inst (run_scheme Schemes.Flexile inst) 0) in
+      let smore = pct (perc inst (run_scheme ~jobs:p.jobs Schemes.Smore inst) 0) in
+      let fx = pct (perc inst (run_scheme ~jobs:p.jobs Schemes.Flexile inst) 0) in
       let tv =
-        try Some (pct (perc inst (run_scheme Schemes.Teavar inst) 0))
+        try Some (pct (perc inst (run_scheme ~jobs:p.jobs Schemes.Teavar inst) 0))
         with Schemes.Timeout _ -> None
       in
       if smore > 0.01 then red_smore := (smore -. fx) /. smore *. 100. :: !red_smore;
@@ -331,9 +336,9 @@ let fig13 p =
     (Flexile_failure.Failure_model.coverage inst.Instance.scenarios);
   let rows =
     [
-      ("SWAN-Maxmin", run_scheme Schemes.Swan_maxmin inst);
-      ("Flexile", run_scheme Schemes.Flexile inst);
-      ("ScenBest-Multi", run_scheme Schemes.Scenbest_multi inst);
+      ("SWAN-Maxmin", run_scheme ~jobs:p.jobs Schemes.Swan_maxmin inst);
+      ("Flexile", run_scheme ~jobs:p.jobs Schemes.Flexile inst);
+      ("ScenBest-Multi", run_scheme ~jobs:p.jobs Schemes.Scenbest_multi inst);
     ]
   in
   List.iter
@@ -372,7 +377,11 @@ let fig14 p =
             Builder.of_name ~options ~two_classes:true name)
       in
       let config =
-        { Flexile_offline.default_config with Flexile_offline.max_iterations = 5 }
+        {
+          Flexile_offline.default_config with
+          Flexile_offline.max_iterations = 5;
+          jobs = p.jobs;
+        }
       in
       let off = Flexile_offline.solve ~config inst in
       let optimal =
@@ -413,7 +422,12 @@ let fig15 p =
     (fun name ->
       let inst = build_two p ~max_scenarios:30 name in
       let links = Flexile_net.Graph.nedges inst.Instance.graph in
-      let off = Flexile_offline.solve inst in
+      let off =
+        Flexile_offline.solve
+          ~config:
+            { Flexile_offline.default_config with Flexile_offline.jobs = p.jobs }
+          inst
+      in
       let ip_time =
         if List.mem name p.ip_topos then begin
           let t0 = Unix.gettimeofday () in
@@ -485,11 +499,11 @@ let scenloss p =
         Stats.weighted_var samples ~beta:0.999
       in
       let tv =
-        try Printf.sprintf "%.1f%%" (pct (scen_var (run_scheme Schemes.Teavar inst)))
+        try Printf.sprintf "%.1f%%" (pct (scen_var (run_scheme ~jobs:p.jobs Schemes.Teavar inst)))
         with Schemes.Timeout _ -> "TLE"
       in
-      let sb = pct (scen_var (run_scheme Schemes.Smore inst)) in
-      let fx = pct (scen_var (run_scheme Schemes.Flexile inst)) in
+      let sb = pct (scen_var (run_scheme ~jobs:p.jobs Schemes.Smore inst)) in
+      let fx = pct (scen_var (run_scheme ~jobs:p.jobs Schemes.Flexile inst)) in
       Printf.printf "  %-16s %8s %9.1f%% %9.1f%%\n" name tv sb fx)
     (List.filteri (fun i _ -> i < 4) p.topos);
   (* the gamma knob on Quest (paper: +<=5% per scenario, PercLoss 16%
@@ -497,11 +511,15 @@ let scenloss p =
   Printf.printf "\n  gamma-bounded variant on Quest (two classes, gamma = 0.05):\n";
   let inst = build_two p ~max_scenarios:30 "Quest" in
   let config =
-    { Flexile_offline.default_config with Flexile_offline.gamma = Some 0.05 }
+    {
+      Flexile_offline.default_config with
+      Flexile_offline.gamma = Some 0.05;
+      jobs = p.jobs;
+    }
   in
   let fxg = (Flexile_scheme.run ~config inst).Flexile_scheme.losses in
-  let sbm = run_scheme Schemes.Scenbest_multi inst in
-  let mm = run_scheme Schemes.Swan_maxmin inst in
+  let sbm = run_scheme ~jobs:p.jobs Schemes.Scenbest_multi inst in
+  let mm = run_scheme ~jobs:p.jobs Schemes.Swan_maxmin inst in
   Printf.printf
     "    low-priority PercLoss: Flexile(gamma) %.1f%%, ScenBest-Multi %.1f%%, SWAN-Maxmin %.1f%%\n"
     (pct (perc inst fxg 1)) (pct (perc inst sbm 1)) (pct (perc inst mm 1));
@@ -538,7 +556,9 @@ let ablation p =
     "penalty";
   let topo = "IBM" in
   let inst = build_two p ~max_scenarios:(min 40 p.max_scenarios) topo in
-  let base = Flexile_offline.default_config in
+  let base =
+    { Flexile_offline.default_config with Flexile_offline.jobs = p.jobs }
+  in
   let variants =
     [
       ("default (cold subproblem solves)", base);

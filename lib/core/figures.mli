@@ -14,6 +14,9 @@ type profile = {
   emu_runs : int;
   cvar_scenarios : int;  (** scenario cap for the CVaR family *)
   ip_time_limit : float;
+  jobs : int;
+      (** worker domains for every scheme's scenario sweep (0 = auto,
+          see {!Flexile_te.Scenario_engine}) *)
 }
 
 val quick : profile

@@ -3,7 +3,7 @@ open Flexile_te
 let zero_loss ?options ~scheme ~graph scale =
   let base = match options with Some o -> o | None -> Builder.default_options in
   let inst = Builder.two_class ~options:{ base with Builder.low_scale = scale } ~graph () in
-  let losses = Schemes.run scheme inst in
+  let losses = Schemes.run ~jobs:base.Builder.jobs scheme inst in
   Metrics.perc_loss inst losses ~cls:1 () <= 1e-4
 
 let search ?options ?(lo = 0.25) ?(hi = 4.0) ?(steps = 6) ~scheme ~graph () =

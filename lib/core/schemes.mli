@@ -26,9 +26,12 @@ exception Timeout of t
 val run :
   ?flexile_config:Flexile_te.Flexile_offline.config ->
   ?size_guard:bool ->
+  ?jobs:int ->
   t ->
   Flexile_te.Instance.t ->
   Flexile_te.Instance.losses
 (** [size_guard] (default true) raises {!Timeout} instead of launching
     a CVaR/IP solve whose LP would be intractably large for the
-    pure-OCaml simplex. *)
+    pure-OCaml simplex.  [jobs] (default 0 = auto) sets the scenario
+    fan-out of every scheme's sweep (see
+    {!Flexile_te.Scenario_engine}). *)

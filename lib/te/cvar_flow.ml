@@ -15,7 +15,7 @@ type result = {
           s_fq + alpha_f >= 1 - delivered_fq / d_f            (lazy)
           capacity rows
    and differ only in whether x is indexed by scenario. *)
-let run_common ~adaptive ?beta inst =
+let run_common ~adaptive ?beta ?jobs inst =
   if Array.length inst.Instance.classes <> 1 then
     invalid_arg "Cvar_flow: single traffic class only";
   if inst.Instance.demand_factors <> None then
@@ -134,20 +134,19 @@ let run_common ~adaptive ?beta inst =
   let sol, rounds = Row_gen.solve ~per_round:800 ~violated model in
   if sol.Simplex.status <> Simplex.Optimal then
     failwith "Cvar_flow: LP did not solve";
-  let losses = Instance.alloc_losses inst in
-  Array.iter
-    (fun (f : Instance.flow) ->
-      for q = 0 to nq - 1 do
-        if f.Instance.demand <= 0. then losses.(f.Instance.fid).(q) <- 0.
-        else
-          let del =
-            delivered (fun v -> sol.Simplex.x.(v)) ~pair:f.Instance.pair ~q
-          in
-          losses.(f.Instance.fid).(q) <-
-            Float.max 0. (Float.min 1. (1. -. (del /. f.Instance.demand)))
-      done)
-    inst.Instance.flows;
+  let losses =
+    Scenario_engine.sweep_losses ?jobs inst ~f:(fun q ->
+        Array.to_list inst.Instance.flows
+        |> List.filter_map (fun (f : Instance.flow) ->
+               if f.Instance.demand <= 0. then None
+               else
+                 let del =
+                   delivered (fun v -> sol.Simplex.x.(v)) ~pair:f.Instance.pair
+                     ~q
+                 in
+                 Some (f.Instance.fid, 1. -. (del /. f.Instance.demand))))
+  in
   { losses; max_flow_cvar = sol.Simplex.obj; rounds }
 
-let run_static ?beta inst = run_common ~adaptive:false ?beta inst
-let run_adaptive ?beta inst = run_common ~adaptive:true ?beta inst
+let run_static ?beta ?jobs inst = run_common ~adaptive:false ?beta ?jobs inst
+let run_adaptive ?beta ?jobs inst = run_common ~adaptive:true ?beta ?jobs inst

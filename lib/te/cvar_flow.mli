@@ -18,5 +18,6 @@ type result = {
   rounds : int;
 }
 
-val run_static : ?beta:float -> Instance.t -> result
-val run_adaptive : ?beta:float -> Instance.t -> result
+val run_static : ?beta:float -> ?jobs:int -> Instance.t -> result
+val run_adaptive : ?beta:float -> ?jobs:int -> Instance.t -> result
+(** [jobs] parallelizes the post-analysis loss sweep (0 = auto). *)

@@ -19,7 +19,7 @@ let rec subsets k edges =
         let with_e = List.map (fun s -> e :: s) (subsets (k - 1) rest) in
         without @ with_e
 
-let run ?(k = 1) inst =
+let run ?(k = 1) ?jobs inst =
   if Array.length inst.Instance.classes <> 1 then
     invalid_arg "Ffc.run: single traffic class only";
   if k < 0 || k > 2 then
@@ -98,22 +98,19 @@ let run ?(k = 1) inst =
       granted.(f.Instance.fid) <- scale *. f.Instance.demand)
     flows;
   let allocation = Array.map (Array.map (fun v -> sol.Simplex.x.(v))) x in
-  let losses = Instance.alloc_losses inst in
-  Array.iter
-    (fun (f : Instance.flow) ->
-      for q = 0 to Instance.nscenarios inst - 1 do
-        if f.Instance.demand <= 0. then losses.(f.Instance.fid).(q) <- 0.
-        else begin
-          let surviving =
-            Array.fold_left
-              (fun acc ti -> acc +. allocation.(f.Instance.pair).(ti))
-              0.
-              inst.Instance.alive_tunnels.(q).(0).(f.Instance.pair)
-          in
-          let delivered = Float.min granted.(f.Instance.fid) surviving in
-          losses.(f.Instance.fid).(q) <-
-            Float.max 0. (Float.min 1. (1. -. (delivered /. f.Instance.demand)))
-        end
-      done)
-    inst.Instance.flows;
+  let losses =
+    Scenario_engine.sweep_losses ?jobs inst ~f:(fun q ->
+        Array.to_list inst.Instance.flows
+        |> List.filter_map (fun (f : Instance.flow) ->
+               if f.Instance.demand <= 0. then None
+               else
+                 let surviving =
+                   Array.fold_left
+                     (fun acc ti -> acc +. allocation.(f.Instance.pair).(ti))
+                     0.
+                     inst.Instance.alive_tunnels.(q).(0).(f.Instance.pair)
+                 in
+                 let delivered = Float.min granted.(f.Instance.fid) surviving in
+                 Some (f.Instance.fid, 1. -. (delivered /. f.Instance.demand))))
+  in
   { losses; granted; allocation }

@@ -22,7 +22,7 @@ type result = {
   allocation : float array array;  (** pair -> tunnel -> reserved bandwidth *)
 }
 
-val run : ?k:int -> Instance.t -> result
+val run : ?k:int -> ?jobs:int -> Instance.t -> result
 (** [k] defaults to 1 (single-link-failure protection; supported up to
     2, by explicit enumeration over the flow's own tunnel links).
     Single traffic class, like the paper's FFC discussion.  Maximizes

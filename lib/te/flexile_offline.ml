@@ -8,6 +8,8 @@ let src = Logs.Src.create "flexile.offline" ~doc:"Flexile offline phase"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Parallel = Flexile_util.Parallel
+
 type config = {
   max_iterations : int;
   hamming_limit : int option;
@@ -15,6 +17,7 @@ type config = {
   share_cuts : bool;
   prune : bool;
   warm_start : bool;
+  jobs : int;
   master : Mip.options;
 }
 
@@ -33,6 +36,10 @@ let default_config =
        so cold solves are the default.  The RHS-only reformulation
        still matters: it is what makes cut sharing (22) valid. *)
     warm_start = false;
+    (* 0 = auto: FLEXILE_JOBS or one worker domain per core.  The
+       subproblem sweep shards scenarios over the Parallel pool; with
+       the default cold solves the result is bit-identical to jobs=1. *)
+    jobs = 0;
     master = { Mip.default_options with node_limit = 400; time_limit = 30. };
   }
 
@@ -502,9 +509,8 @@ let solve_master inst ~config ~cuts ~z_prev ~coverage_target ~perfect =
       Some (z, r.Mip.bound)
   | Mip.Infeasible | Mip.Limit -> None
 
-let selfcheck_subproblems inst =
+let selfcheck_subproblems ?jobs inst =
   let nf = Instance.nflows inst and nq = Instance.nscenarios inst in
-  let tpl = build_template inst ~with_gamma:false in
   let scen_loss_opt = Array.make nq 0. in
   let z =
     Array.init nf (fun fid ->
@@ -512,21 +518,32 @@ let selfcheck_subproblems inst =
         Array.init nq (fun q ->
             f.Instance.demand > 0. && Instance.flow_connected inst f q))
   in
+  (* each worker shard owns a template: the warm dual-simplex restarts
+     stay shard-local, and every shard's warm objectives must still
+     agree with an independent cold solve — this is exactly the
+     parallel ≡ sequential contract of the scenario engine *)
+  let results =
+    Scenario_engine.sweep ?jobs inst
+      ~init:(fun _ -> build_template inst ~with_gamma:false)
+      ~f:(fun tpl sid ->
+        let rhs = scenario_rhs inst tpl ~sid ~z ~scen_loss_opt ~gamma:None in
+        let warm = Simplex.resolve_rhs tpl.st rhs in
+        Array.iteri (fun r v -> Lp_model.set_rhs tpl.model r v) rhs;
+        let cold = Simplex.solve tpl.model in
+        let agree =
+          match (warm.Simplex.status, cold.Simplex.status) with
+          | Simplex.Optimal, Simplex.Optimal ->
+              Float.abs (warm.Simplex.obj -. cold.Simplex.obj)
+              <= 1e-5 *. (1. +. Float.abs cold.Simplex.obj)
+          | a, b -> a = b
+        in
+        (agree, warm.Simplex.obj, cold.Simplex.obj))
+  in
   let bad = ref [] in
-  for sid = 0 to nq - 1 do
-    let rhs = scenario_rhs inst tpl ~sid ~z ~scen_loss_opt ~gamma:None in
-    let warm = Simplex.resolve_rhs tpl.st rhs in
-    Array.iteri (fun r v -> Lp_model.set_rhs tpl.model r v) rhs;
-    let cold = Simplex.solve tpl.model in
-    let agree =
-      match (warm.Simplex.status, cold.Simplex.status) with
-      | Simplex.Optimal, Simplex.Optimal ->
-          Float.abs (warm.Simplex.obj -. cold.Simplex.obj)
-          <= 1e-5 *. (1. +. Float.abs cold.Simplex.obj)
-      | a, b -> a = b
-    in
-    if not agree then bad := (sid, warm.Simplex.obj, cold.Simplex.obj) :: !bad
-  done;
+  Array.iteri
+    (fun sid (agree, warm_obj, cold_obj) ->
+      if not agree then bad := (sid, warm_obj, cold_obj) :: !bad)
+    results;
   List.rev !bad
 
 (* ------------------------------------------------------------------ *)
@@ -543,7 +560,22 @@ let solve ?(config = default_config) inst =
     | Some _ -> Scenbest.scen_loss_optimal inst
     | None -> Array.make nq 0.
   in
-  let tpl = build_template inst ~with_gamma:(config.gamma <> None) in
+  let jobs = Parallel.resolve_jobs (Some config.jobs) in
+  (* Per-worker-shard subproblem templates, created lazily and kept
+     across iterations: each shard owns a Simplex.t, so the paper's
+     dual-simplex warm restarts survive within a shard while no solver
+     state is ever shared across domains.  Slot [w] is only ever
+     touched by the worker holding slot [w] of the current sweep; the
+     pool's handoff protocol orders those accesses. *)
+  let templates = Array.make jobs None in
+  let template_for w =
+    match templates.(w) with
+    | Some t -> t
+    | None ->
+        let t = build_template inst ~with_gamma:(config.gamma <> None) in
+        templates.(w) <- Some t;
+        t
+  in
   let coverage_target =
     Array.map
       (fun (f : Instance.flow) ->
@@ -577,7 +609,11 @@ let solve ?(config = default_config) inst =
      so warm restarts and cross-scenario cuts do not apply *)
   let has_demand_factors = inst.Instance.demand_factors <> None in
   let share_cuts = config.share_cuts && not has_demand_factors in
-  let solve_scenario sid =
+  (* Worker-side subproblem solve: reads [z]/[scen_loss_opt] (frozen
+     during a sweep) and returns the scenario's loss column plus the
+     dual certificate; all bookkeeping mutation happens in the merge
+     loop below, in ascending scenario order. *)
+  let solve_scenario tpl sid =
     let tpl_q =
       if has_demand_factors then
         build_template ~sid inst ~with_gamma:(config.gamma <> None)
@@ -594,21 +630,22 @@ let solve ?(config = default_config) inst =
         Simplex.solve tpl_q.model
       end
     in
-    incr subproblems;
     match sol.Simplex.status with
     | Simplex.Optimal ->
-        Array.iter
-          (fun (f : Instance.flow) ->
-            let fid = f.Instance.fid in
-            if tpl_q.l_var.(fid) >= 0 then
-              losses.(fid).(sid) <-
-                Float.max 0. (Float.min 1. sol.Simplex.x.(tpl_q.l_var.(fid))))
-          inst.Instance.flows;
+        let loss_col =
+          Array.to_list inst.Instance.flows
+          |> List.filter_map (fun (f : Instance.flow) ->
+                 let fid = f.Instance.fid in
+                 if tpl_q.l_var.(fid) >= 0 then
+                   Some
+                     ( fid,
+                       Float.max 0.
+                         (Float.min 1. sol.Simplex.x.(tpl_q.l_var.(fid))) )
+                 else None)
+        in
         let di = extract_dual inst tpl_q sol rhs in
-        Some (sol.Simplex.obj, di)
-    | _ ->
-        Log.warn (fun m -> m "subproblem %d did not solve" sid);
-        None
+        Some (sol.Simplex.obj, loss_col, di)
+    | _ -> None
   in
   let iterates = ref [] in
   let stopwatch = ref (Unix.gettimeofday ()) in
@@ -633,28 +670,51 @@ let solve ?(config = default_config) inst =
   let iteration = ref 0 in
   let stop = ref false in
   while (not !stop) && !iteration < config.max_iterations do
-    (* --- subproblem sweep --- *)
+    (* --- subproblem sweep: domain-parallel over scenario shards --- *)
     duals_pool := [];
-    for sid = 0 to nq - 1 do
-      let col = Array.init nf (fun fid -> z.(fid).(sid)) in
+    let cols =
+      Array.init nq (fun sid -> Array.init nf (fun fid -> z.(fid).(sid)))
+    in
+    let keep sid =
       let unchanged =
         config.prune
-        && (match last_z_col.(sid) with Some c -> c = col | None -> false)
+        && (match last_z_col.(sid) with
+           | Some c -> c = cols.(sid)
+           | None -> false)
       in
-      if not ((config.prune && perfect.(sid)) || unchanged) then begin
-        match solve_scenario sid with
-        | Some (obj, di) ->
-            last_z_col.(sid) <- Some col;
-            if obj <= 1e-9 && !iteration = 0 then perfect.(sid) <- true
-            else begin
-              cuts :=
-                cut_for inst di ~target:sid ~scen_loss_opt ~gamma:config.gamma
-                :: !cuts;
-              if List.length !duals_pool < 4 then duals_pool := di :: !duals_pool
-            end
-        | None -> ()
-      end
-    done;
+      not ((config.prune && perfect.(sid)) || unchanged)
+    in
+    let results =
+      Scenario_engine.sweep_some ~jobs:config.jobs inst ~keep ~init:template_for
+        ~f:solve_scenario
+    in
+    (* deterministic merge, ascending scenario order: losses, pruning
+       state, the cut list and the shared-dual pool come out identical
+       to the sequential sweep *)
+    Array.iteri
+      (fun sid outcome ->
+        match outcome with
+        | None -> () (* pruned *)
+        | Some attempt -> (
+            incr subproblems;
+            match attempt with
+            | Some (obj, loss_col, di) ->
+                last_z_col.(sid) <- Some cols.(sid);
+                List.iter
+                  (fun (fid, v) -> losses.(fid).(sid) <- v)
+                  loss_col;
+                if obj <= 1e-9 && !iteration = 0 then perfect.(sid) <- true
+                else begin
+                  cuts :=
+                    cut_for inst di ~target:sid ~scen_loss_opt
+                      ~gamma:config.gamma
+                    :: !cuts;
+                  if List.length !duals_pool < 4 then
+                    duals_pool := di :: !duals_pool
+                end
+            | None ->
+                Log.warn (fun m -> m "subproblem %d did not solve" sid)))
+      results;
     (* cut sharing: certificates from solved scenarios bound the rest *)
     if share_cuts then
       List.iter

@@ -30,6 +30,11 @@ type config = {
   warm_start : bool;
       (** dual-simplex warm restarts across scenarios (§4.2); disable
           only for ablation studies *)
+  jobs : int;
+      (** worker domains for the subproblem sweep (via
+          {!Scenario_engine}); [0] = auto ([FLEXILE_JOBS] or one per
+          core).  Warm restarts stay shard-local; with the default cold
+          solves the result is bit-identical for every job count *)
   master : Flexile_lp.Mip.options;
 }
 
@@ -54,9 +59,12 @@ type result = {
 
 val solve : ?config:config -> Instance.t -> result
 
-val selfcheck_subproblems : Instance.t -> (int * float * float) list
+val selfcheck_subproblems : ?jobs:int -> Instance.t -> (int * float * float) list
 (** Regression harness: solve every scenario's subproblem (all
     connected flows critical) both via the warm dual-simplex path used
     by {!solve} and via a cold solve; returns [(sid, warm, cold)] for
     scenarios whose objectives disagree beyond tolerance.  Empty on a
-    healthy solver. *)
+    healthy solver.  With [jobs > 1] the sweep runs domain-parallel,
+    each shard warm-restarting its own simplex — asserting that the
+    parallel path agrees with independent cold solves scenario by
+    scenario. *)

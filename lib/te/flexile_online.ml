@@ -14,22 +14,9 @@ let allocate inst ~sid ~critical ~offline_loss =
   in
   Scen_lp.maxmin_losses inst ~sid ~class_order ~prefrozen ()
 
-let run inst ~offline =
+let run ?jobs inst ~offline =
   let best = offline.Flexile_offline.best in
-  let losses = Instance.alloc_losses inst in
-  for sid = 0 to Instance.nscenarios inst - 1 do
-    let results =
+  Scenario_engine.sweep_losses ?jobs inst ~f:(fun sid ->
       allocate inst ~sid
         ~critical:(fun fid -> best.Flexile_offline.z.(fid).(sid))
-        ~offline_loss:(fun fid -> best.Flexile_offline.losses.(fid).(sid))
-    in
-    List.iter
-      (fun (fid, v) -> losses.(fid).(sid) <- Float.max 0. (Float.min 1. v))
-      results
-  done;
-  Array.iter
-    (fun (f : Instance.flow) ->
-      if f.Instance.demand <= 0. then
-        Array.fill losses.(f.Instance.fid) 0 (Instance.nscenarios inst) 0.)
-    inst.Instance.flows;
-  losses
+        ~offline_loss:(fun fid -> best.Flexile_offline.losses.(fid).(sid)))

@@ -19,6 +19,8 @@ val allocate :
     [offline_loss fid] is the loss the offline phase guaranteed it
     (used as the critical flow's cap). *)
 
-val run : Instance.t -> offline:Flexile_offline.result -> Instance.losses
-(** Run the online allocation for every scenario, using the best
-    offline iterate's critical sets and guaranteed losses. *)
+val run :
+  ?jobs:int -> Instance.t -> offline:Flexile_offline.result -> Instance.losses
+(** Run the online allocation for every scenario (fanned out through
+    {!Scenario_engine}; [jobs = 0] means auto), using the best offline
+    iterate's critical sets and guaranteed losses. *)

@@ -8,4 +8,6 @@ type result = {
   offline : Flexile_offline.result;
 }
 
-val run : ?config:Flexile_offline.config -> Instance.t -> result
+val run : ?config:Flexile_offline.config -> ?jobs:int -> Instance.t -> result
+(** [jobs] (0 = auto) overrides [config.jobs] for the offline sweep and
+    sets the online phase's fan-out. *)

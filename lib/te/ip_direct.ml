@@ -12,7 +12,7 @@ type result = {
 }
 
 let solve ?(options = { Flexile_lp.Mip.default_options with node_limit = 2000; time_limit = 3600. })
-    inst =
+    ?jobs inst =
   let t0 = Unix.gettimeofday () in
   let g = inst.Instance.graph in
   let nk = Array.length inst.Instance.classes in
@@ -122,20 +122,17 @@ let solve ?(options = { Flexile_lp.Mip.default_options with node_limit = 2000; t
       end)
     inst.Instance.flows;
   let r = Mip.solve ~options ~binaries:(Array.of_list !binaries) model in
-  let losses = Instance.alloc_losses inst in
-  (match r.Mip.status with
-  | Mip.Optimal | Mip.Feasible ->
-      Array.iter
-        (fun (f : Instance.flow) ->
-          let fid = f.Instance.fid in
-          for q = 0 to nq - 1 do
-            if f.Instance.demand <= 0. then losses.(fid).(q) <- 0.
-            else if lv.(fid).(q) >= 0 then
-              losses.(fid).(q) <-
-                Float.max 0. (Float.min 1. r.Mip.x.(lv.(fid).(q)))
-          done)
-        inst.Instance.flows
-  | _ -> ());
+  let losses =
+    match r.Mip.status with
+    | Mip.Optimal | Mip.Feasible ->
+        Scenario_engine.sweep_losses ?jobs inst ~f:(fun q ->
+            Array.to_list inst.Instance.flows
+            |> List.filter_map (fun (f : Instance.flow) ->
+                   let fid = f.Instance.fid in
+                   if f.Instance.demand <= 0. || lv.(fid).(q) < 0 then None
+                   else Some (fid, r.Mip.x.(lv.(fid).(q)))))
+    | _ -> Instance.alloc_losses inst
+  in
   {
     losses;
     penalty =

@@ -12,4 +12,5 @@ type result = {
   wall_time : float;
 }
 
-val solve : ?options:Flexile_lp.Mip.options -> Instance.t -> result
+val solve : ?options:Flexile_lp.Mip.options -> ?jobs:int -> Instance.t -> result
+(** [jobs] parallelizes the post-analysis loss sweep (0 = auto). *)

@@ -1,0 +1,29 @@
+module Parallel = Flexile_util.Parallel
+
+let default_jobs = Parallel.default_jobs
+
+let sweep ?jobs inst ~init ~f =
+  Parallel.map ?jobs ~n:(Instance.nscenarios inst) ~init ~f ()
+
+let sweep_some ?jobs inst ~keep ~init ~f =
+  let nq = Instance.nscenarios inst in
+  let kept = Array.init nq keep in
+  Parallel.map ?jobs ~n:nq ~init
+    ~f:(fun st sid -> if kept.(sid) then Some (f st sid) else None)
+    ()
+
+let sweep_losses ?jobs inst ~f =
+  let per_sid = sweep ?jobs inst ~init:(fun _ -> ()) ~f:(fun () sid -> f sid) in
+  let losses = Instance.alloc_losses inst in
+  Array.iteri
+    (fun sid results ->
+      List.iter
+        (fun (fid, v) -> losses.(fid).(sid) <- Float.max 0. (Float.min 1. v))
+        results)
+    per_sid;
+  Array.iter
+    (fun (fl : Instance.flow) ->
+      if fl.Instance.demand <= 0. then
+        Array.fill losses.(fl.Instance.fid) 0 (Instance.nscenarios inst) 0.)
+    inst.Instance.flows;
+  losses

@@ -1,38 +1,20 @@
-let apply_results inst losses sid results =
-  List.iter (fun (fid, v) -> losses.(fid).(sid) <- Float.max 0. (Float.min 1. v)) results;
-  (* zero-demand flows carry no loss *)
-  Array.iter
-    (fun (f : Instance.flow) ->
-      if f.Instance.demand <= 0. then losses.(f.Instance.fid).(sid) <- 0.)
-    inst.Instance.flows
-
 let all_classes inst =
   List.init (Array.length inst.Instance.classes) (fun k -> k)
 
-let run inst =
-  let losses = Instance.alloc_losses inst in
-  for sid = 0 to Instance.nscenarios inst - 1 do
-    (* single class: every class processed together in one level set *)
-    let results =
+let run ?jobs inst =
+  Scenario_engine.sweep_losses ?jobs inst ~f:(fun sid ->
+      (* single class: every class processed together in one level set *)
       Scen_lp.maxmin_losses inst ~sid ~class_order:(all_classes inst)
-        ~merge_classes:true ()
-    in
-    apply_results inst losses sid results
-  done;
-  losses
+        ~merge_classes:true ())
 
-let run_multi inst =
-  let losses = Instance.alloc_losses inst in
-  for sid = 0 to Instance.nscenarios inst - 1 do
-    let results =
-      Scen_lp.maxmin_losses inst ~sid ~class_order:(all_classes inst) ()
-    in
-    apply_results inst losses sid results
-  done;
-  losses
+let run_multi ?jobs inst =
+  Scenario_engine.sweep_losses ?jobs inst ~f:(fun sid ->
+      Scen_lp.maxmin_losses inst ~sid ~class_order:(all_classes inst) ())
 
-let scen_loss_optimal inst =
-  Array.init (Instance.nscenarios inst) (fun sid ->
+let scen_loss_optimal ?jobs inst =
+  Scenario_engine.sweep ?jobs inst
+    ~init:(fun _ -> ())
+    ~f:(fun () sid ->
       let ctx = Scen_lp.build inst ~sid in
       let connected f = Instance.flow_connected inst f sid in
       match Scen_lp.solve_min_weighted_max ctx ~flows:connected ~frozen:[] with

@@ -5,18 +5,22 @@
     After minimizing the worst connected flow's loss, remaining freedom
     is resolved by max-min on flow loss, so per-flow losses vary (the
     flow-level CDFs of Fig. 5 are over these).  Disconnected flows get
-    loss 1 in the scenario. *)
+    loss 1 in the scenario.
 
-val run : Instance.t -> Instance.losses
+    All entry points sweep scenarios through {!Scenario_engine};
+    [jobs = 0] (the default) means auto ([FLEXILE_JOBS] or one worker
+    per core), and results are identical for every job count. *)
+
+val run : ?jobs:int -> Instance.t -> Instance.losses
 (** Single-class ScenBest / SMORE: ignores class boundaries (treats
     all flows uniformly), which is how the paper uses SMORE. *)
 
-val run_multi : Instance.t -> Instance.losses
+val run_multi : ?jobs:int -> Instance.t -> Instance.losses
 (** ScenBest-Multi (§6.3): classes in priority order, each receiving a
     scenario-optimal max-min allocation; the routing of higher classes
     is re-optimized jointly with lower classes. *)
 
-val scen_loss_optimal : Instance.t -> float array
+val scen_loss_optimal : ?jobs:int -> Instance.t -> float array
 (** Per-scenario optimal ScenLoss (worst connected flow loss, all
     classes together): the baseline of Fig. 6, also used by the
     gamma-bounded Flexile variant of §4.4. *)

@@ -6,7 +6,10 @@
 
     - SWAN-Throughput maximizes each class's delivered volume, which
       can starve long flows entirely (the A-B-C example of §6.2);
-    - SWAN-Maxmin approximates max-min fairness within each class. *)
+    - SWAN-Maxmin approximates max-min fairness within each class.
 
-val run_throughput : Instance.t -> Instance.losses
-val run_maxmin : Instance.t -> Instance.losses
+    Scenarios are swept through {!Scenario_engine}; [jobs = 0] (the
+    default) means auto, and results are identical for any job count. *)
+
+val run_throughput : ?jobs:int -> Instance.t -> Instance.losses
+val run_maxmin : ?jobs:int -> Instance.t -> Instance.losses

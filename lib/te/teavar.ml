@@ -19,7 +19,7 @@ let delivered inst x ~cls ~pair ~sid xval =
     0.
     inst.Instance.alive_tunnels.(sid).(cls).(pair)
 
-let run ?beta inst =
+let run ?beta ?jobs inst =
   if Array.length inst.Instance.classes <> 1 then
     invalid_arg "Teavar.run: single traffic class only";
   if inst.Instance.demand_factors <> None then
@@ -104,22 +104,19 @@ let run ?beta inst =
   let sol, rounds = Row_gen.solve ~violated model in
   if sol.Simplex.status <> Simplex.Optimal then
     failwith "Teavar.run: LP did not solve";
-  (* post-analysis losses *)
-  let losses = Instance.alloc_losses inst in
-  Array.iter
-    (fun (f : Instance.flow) ->
-      for q = 0 to nq - 1 do
-        if f.Instance.demand <= 0. then losses.(f.Instance.fid).(q) <- 0.
-        else begin
-          let del =
-            delivered inst x ~cls:0 ~pair:f.Instance.pair ~sid:q (fun v ->
-                sol.Simplex.x.(v))
-          in
-          losses.(f.Instance.fid).(q) <-
-            Float.max 0. (Float.min 1. (1. -. (del /. f.Instance.demand)))
-        end
-      done)
-    flows;
+  (* post-analysis losses, per scenario through the engine *)
+  let losses =
+    Scenario_engine.sweep_losses ?jobs inst ~f:(fun q ->
+        Array.to_list flows
+        |> List.filter_map (fun (f : Instance.flow) ->
+               if f.Instance.demand <= 0. then None
+               else
+                 let del =
+                   delivered inst x ~cls:0 ~pair:f.Instance.pair ~sid:q
+                     (fun v -> sol.Simplex.x.(v))
+                 in
+                 Some (f.Instance.fid, 1. -. (del /. f.Instance.demand))))
+  in
   let allocation =
     Array.map (Array.map (fun v -> sol.Simplex.x.(v))) x.(0)
   in

@@ -18,5 +18,6 @@ type result = {
   rounds : int;  (** row-generation rounds *)
 }
 
-val run : ?beta:float -> Instance.t -> result
-(** [beta] defaults to the instance's class-0 target. *)
+val run : ?beta:float -> ?jobs:int -> Instance.t -> result
+(** [beta] defaults to the instance's class-0 target.  [jobs]
+    parallelizes the post-analysis loss sweep (0 = auto). *)

@@ -1,0 +1,173 @@
+(* Tests for the domain pool (Flexile_util.Parallel) and the scenario
+   sweep engine built on it: ordered determinism under adversarial
+   scheduling, exception propagation, the sequential fallback, and the
+   parallel-equals-sequential contract on real solver sweeps. *)
+
+open Flexile_te
+module Parallel = Flexile_util.Parallel
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* Early indices sleep longest, so with any real parallelism the
+   completion order inverts the index order; the result array must be
+   in index order regardless. *)
+let test_ordered_under_delays () =
+  let n = 24 in
+  let out =
+    Parallel.map ~jobs:4 ~n
+      ~init:(fun _ -> ())
+      ~f:(fun () i ->
+        Unix.sleepf (0.002 *. float_of_int (n - i));
+        i * i)
+      ()
+  in
+  Alcotest.(check (array int))
+    "squares in index order"
+    (Array.init n (fun i -> i * i))
+    out
+
+let test_jobs1_fallback_equivalence () =
+  let f () i = (7 * i) + (i mod 3) in
+  let seq = Parallel.map ~jobs:1 ~n:50 ~init:(fun _ -> ()) ~f () in
+  let par = Parallel.map ~jobs:4 ~n:50 ~init:(fun _ -> ()) ~f () in
+  Alcotest.(check (array int)) "jobs=1 equals jobs=4" seq par
+
+(* Static cyclic sharding: worker [w] owns exactly the indices
+   [i mod jobs = w], so per-worker state is a deterministic function of
+   the index. *)
+let test_static_sharding_contract () =
+  let jobs = 4 in
+  let out =
+    Parallel.map ~jobs ~n:23 ~init:(fun w -> w) ~f:(fun w _ -> w) ()
+  in
+  Array.iteri
+    (fun i w -> Alcotest.(check int) (Printf.sprintf "slot of %d" i) (i mod jobs) w)
+    out;
+  (* each worker visits its shard in ascending order *)
+  let seen = Array.make jobs (-1) in
+  let out =
+    Parallel.map ~jobs ~n:23
+      ~init:(fun w -> w)
+      ~f:(fun w i ->
+        let prev = seen.(w) in
+        seen.(w) <- i;
+        prev)
+      ()
+  in
+  Array.iteri
+    (fun i prev ->
+      let expect = if i < jobs then -1 else i - jobs in
+      Alcotest.(check int) (Printf.sprintf "predecessor of %d" i) expect prev)
+    out
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* index 13 lands on worker slot 13 mod 4 = 1, a spawned domain *)
+  Alcotest.check_raises "worker exception reaches the caller" (Boom 13)
+    (fun () ->
+      ignore
+        (Parallel.map ~jobs:4 ~n:20
+           ~init:(fun _ -> ())
+           ~f:(fun () i -> if i = 13 then raise (Boom i) else i)
+           ()));
+  (* and from the sequential fallback too *)
+  Alcotest.check_raises "sequential exception" (Boom 3) (fun () ->
+      ignore
+        (Parallel.map ~jobs:1 ~n:5
+           ~init:(fun _ -> ())
+           ~f:(fun () i -> if i = 3 then raise (Boom i) else i)
+           ()))
+
+let test_map_reduce_order () =
+  let reduce jobs =
+    Parallel.map_reduce ~jobs ~n:17
+      ~init:(fun _ -> ())
+      ~f:(fun () i -> i)
+      ~fold:(fun acc i -> (2 * acc) + i)
+      0
+  in
+  Alcotest.(check int) "fold order is index order" (reduce 1) (reduce 4)
+
+let test_explicit_pool () =
+  let pool = Parallel.create ~jobs:3 in
+  Alcotest.(check int) "pool size" 3 (Parallel.jobs pool);
+  (* a pool is reusable across calls *)
+  for round = 1 to 3 do
+    let out =
+      Parallel.map ~pool ~n:10 ~init:(fun _ -> round) ~f:(fun r i -> r * i) ()
+    in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init 10 (fun i -> round * i))
+      out
+  done;
+  Parallel.shutdown pool;
+  Parallel.shutdown pool (* idempotent *)
+
+let test_resolve_jobs () =
+  Alcotest.(check int) "explicit" 5 (Parallel.resolve_jobs (Some 5));
+  Alcotest.(check int) "clamped" 64 (Parallel.resolve_jobs (Some 1000));
+  Alcotest.(check bool) "auto is positive" true (Parallel.resolve_jobs None >= 1);
+  Alcotest.(check int) "zero means auto"
+    (Parallel.resolve_jobs None)
+    (Parallel.resolve_jobs (Some 0))
+
+(* ---- the engine on real instances ---- *)
+
+let losses_testable =
+  Alcotest.(array (array (float 0.)))
+
+let test_selfcheck_parallel () =
+  let inst = Flexile_core.Builder.fig1 () in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list (triple int (float 1e-9) (float 1e-9))))
+        (Printf.sprintf "selfcheck clean at jobs=%d" jobs)
+        []
+        (Flexile_offline.selfcheck_subproblems ~jobs inst))
+    [ 1; 2; 4 ]
+
+let test_scenbest_bit_identical () =
+  let inst = Flexile_core.Builder.fig1 () in
+  let seq = Scenbest.run ~jobs:1 inst in
+  let par = Scenbest.run ~jobs:3 inst in
+  Alcotest.check losses_testable "ScenBest parallel == sequential" seq par
+
+let test_offline_bit_identical () =
+  let inst = Flexile_core.Builder.fig1 () in
+  let solve jobs =
+    let config =
+      { Flexile_offline.default_config with Flexile_offline.jobs }
+    in
+    let r = Flexile_offline.solve ~config inst in
+    ( r.Flexile_offline.best.Flexile_offline.penalty,
+      r.Flexile_offline.subproblems_solved,
+      r.Flexile_offline.best.Flexile_offline.losses )
+  in
+  let p1, n1, l1 = solve 1 in
+  let p4, n4, l4 = solve 4 in
+  Alcotest.(check (float 0.)) "penalty identical" p1 p4;
+  Alcotest.(check int) "same subproblem count" n1 n4;
+  Alcotest.check losses_testable "offline losses identical" l1 l4
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          quick "ordered-under-delays" test_ordered_under_delays;
+          quick "jobs1-fallback" test_jobs1_fallback_equivalence;
+          quick "static-sharding" test_static_sharding_contract;
+          quick "exception-propagation" test_exception_propagation;
+          quick "map-reduce-order" test_map_reduce_order;
+          quick "explicit-pool" test_explicit_pool;
+          quick "resolve-jobs" test_resolve_jobs;
+        ] );
+      ( "engine",
+        [
+          quick "selfcheck-jobs-124" test_selfcheck_parallel;
+          quick "scenbest-bit-identical" test_scenbest_bit_identical;
+          quick "offline-bit-identical" test_offline_bit_identical;
+        ] );
+    ]
