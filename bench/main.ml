@@ -12,6 +12,7 @@
 
 open Flexile_core
 module Parallel = Flexile_util.Parallel
+module Trace = Flexile_util.Trace
 
 (* Bechamel kernels; returns [(name, ms_per_run)] for the JSON dump. *)
 let micro_benchmarks ~jobs () =
@@ -129,7 +130,7 @@ let write_json path ~profile_name ~jobs ~figures ~micro =
     (fun (name, ms) ->
       item "{\"name\":\"%s\",\"ms_per_run\":%.6f}" (json_escape name) ms)
     micro;
-  item "]}\n";
+  item "],\"trace\":%s}\n" (Flexile_te.Flexile_offline.trace_json ());
   close_out oc;
   Printf.printf "\nwrote timings to %s\n" path
 
@@ -154,6 +155,10 @@ let () =
     ]
   in
   Arg.parse args (fun _ -> ()) "flexile benchmark harness";
+  (* tracing is on by default under the bench harness so --json can
+     report solver counters; FLEXILE_TRACE=0 vetoes it, which is how
+     the no-overhead path is itself benchmarked *)
+  if not (Trace.env_disabled ()) then Trace.set_enabled true;
   let profile = if !full then Figures.full else Figures.quick in
   (* environment overrides for constrained machines / CI *)
   let getenv_int name current =

@@ -5,6 +5,30 @@
 open Cmdliner
 module Instance = Flexile_te.Instance
 module Metrics = Flexile_te.Metrics
+module Trace = Flexile_util.Trace
+
+(* --trace OUT.json: enable the observability layer for this run and
+   dump the merged report when the command finishes *)
+let trace_arg =
+  let doc =
+    "Enable solver tracing and write the structured JSON report \
+     (counters, per-phase timers, events) to $(docv) when the command \
+     completes.  Tracing can also be forced on for any command with \
+     FLEXILE_TRACE=1."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace out f =
+  (match out with Some _ -> Trace.set_enabled true | None -> ());
+  f ();
+  match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Flexile_te.Flexile_offline.trace_json ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote trace to %s\n" path
 
 let verbose_term =
   let doc = "Enable informational logging." in
@@ -80,7 +104,8 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "gamma" ]
            ~doc:"Bound non-critical flows' loss to gamma + per-scenario optimum (section 4.4).")
   in
-  let run () name two max_scenarios max_pairs iterations gamma jobs =
+  let run () name two max_scenarios max_pairs iterations gamma jobs trace =
+    with_trace trace @@ fun () ->
     let inst = build_instance ~two ~max_scenarios ~max_pairs name in
     print_instance inst;
     let config =
@@ -103,7 +128,8 @@ let solve_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ iterations $ gamma $ jobs_arg)
+          $ scenarios_arg $ pairs_arg $ iterations $ gamma $ jobs_arg
+          $ trace_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run Flexile (offline + online) on a topology.") term
 
@@ -114,7 +140,8 @@ let compare_cmd =
     let doc = "Comma-separated schemes (default: Flexile,SMORE,SWAN-Maxmin)." in
     Arg.(value & opt string "Flexile,SMORE,SWAN-Maxmin" & info [ "schemes" ] ~doc)
   in
-  let run () name two max_scenarios max_pairs schemes jobs =
+  let run () name two max_scenarios max_pairs schemes jobs trace =
+    with_trace trace @@ fun () ->
     let inst = build_instance ~two ~max_scenarios ~max_pairs name in
     print_instance inst;
     String.split_on_char ',' schemes
@@ -131,7 +158,7 @@ let compare_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ schemes_arg $ jobs_arg)
+          $ scenarios_arg $ pairs_arg $ schemes_arg $ jobs_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare TE schemes on a topology.") term
 

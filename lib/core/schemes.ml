@@ -51,26 +51,38 @@ let cvar_ad_rows inst =
 
 let ip_binaries inst = Instance.nflows inst * Instance.nscenarios inst
 
+module Trace = Flexile_util.Trace
+
+(* one wall-time timer per scheme, e.g. "scheme.Flexile"; registration
+   is idempotent so looking the handle up per run is fine (run is
+   called a handful of times per figure, never in an inner loop) *)
 let run ?flexile_config ?(size_guard = true) ?(jobs = 0) scheme inst =
-  match scheme with
-  | Flexile ->
-      (Flexile_scheme.run ?config:flexile_config ~jobs inst)
-        .Flexile_scheme.losses
-  | Smore -> Scenbest.run ~jobs inst
-  | Scenbest_multi -> Scenbest.run_multi ~jobs inst
-  | Teavar ->
-      if size_guard && cvar_ad_rows inst > 400_000 then raise (Timeout scheme);
-      (Teavar.run ~jobs inst).Teavar.losses
-  | Cvar_flow_st ->
-      if size_guard && Instance.nflows inst * Instance.nscenarios inst > 60_000
-      then raise (Timeout scheme);
-      (Cvar_flow.run_static ~jobs inst).Cvar_flow.losses
-  | Cvar_flow_ad ->
-      if size_guard && cvar_ad_rows inst > 2_500 then raise (Timeout scheme);
-      (Cvar_flow.run_adaptive ~jobs inst).Cvar_flow.losses
-  | Swan_maxmin -> Swan.run_maxmin ~jobs inst
-  | Swan_throughput -> Swan.run_throughput ~jobs inst
-  | Ffc -> (Ffc.run ~jobs inst).Ffc.losses
-  | Ip ->
-      if size_guard && ip_binaries inst > 4_000 then raise (Timeout scheme);
-      (Ip_direct.solve ~jobs inst).Ip_direct.losses
+  Trace.with_span
+    (Trace.timer ("scheme." ^ name scheme))
+    (fun () ->
+      match scheme with
+      | Flexile ->
+          (Flexile_scheme.run ?config:flexile_config ~jobs inst)
+            .Flexile_scheme.losses
+      | Smore -> Scenbest.run ~jobs inst
+      | Scenbest_multi -> Scenbest.run_multi ~jobs inst
+      | Teavar ->
+          if size_guard && cvar_ad_rows inst > 400_000 then
+            raise (Timeout scheme);
+          (Teavar.run ~jobs inst).Teavar.losses
+      | Cvar_flow_st ->
+          if
+            size_guard
+            && Instance.nflows inst * Instance.nscenarios inst > 60_000
+          then raise (Timeout scheme);
+          (Cvar_flow.run_static ~jobs inst).Cvar_flow.losses
+      | Cvar_flow_ad ->
+          if size_guard && cvar_ad_rows inst > 2_500 then
+            raise (Timeout scheme);
+          (Cvar_flow.run_adaptive ~jobs inst).Cvar_flow.losses
+      | Swan_maxmin -> Swan.run_maxmin ~jobs inst
+      | Swan_throughput -> Swan.run_throughput ~jobs inst
+      | Ffc -> (Ffc.run ~jobs inst).Ffc.losses
+      | Ip ->
+          if size_guard && ip_binaries inst > 4_000 then raise (Timeout scheme);
+          (Ip_direct.solve ~jobs inst).Ip_direct.losses)

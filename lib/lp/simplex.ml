@@ -22,6 +22,16 @@ let degen_threshold = 120
 let src = Logs.Src.create "flexile.lp" ~doc:"LP solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Trace = Flexile_util.Trace
+
+(* Probes are per-solve, never per-pivot: with tracing disabled each
+   costs one branch, with it enabled one domain-local array write. *)
+let c_cold_solves = Trace.counter "simplex.cold_solves"
+let c_iterations = Trace.counter "simplex.iterations"
+let c_refactorizations = Trace.counter "simplex.refactorizations"
+let c_warm_attempts = Trace.counter "simplex.warm_attempts"
+let c_warm_hits = Trace.counter "simplex.warm_hits"
+let c_warm_fallbacks = Trace.counter "simplex.warm_fallbacks"
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -166,6 +176,7 @@ let recompute_xb st =
 exception Singular_basis
 
 let refactorize st =
+  Trace.incr c_refactorizations;
   let m = st.m in
   let a = Array.init m (fun _ -> Array.make m 0.) in
   for k = 0 to m - 1 do
@@ -514,6 +525,7 @@ let extract_solution st ~status ~iterations =
   for j = 0 to n - 1 do
     obj := !obj +. (st.cost.(j) *. x.(j))
   done;
+  Trace.add c_iterations iterations;
   st.last_status <- Some status;
   {
     status;
@@ -528,6 +540,7 @@ let extract_solution st ~status ~iterations =
 let default_iter_limit st = 50_000 + (50 * (st.n + st.m))
 
 let cold_solve ?iter_limit st =
+  Trace.incr c_cold_solves;
   let iter_limit =
     match iter_limit with Some l -> l | None -> default_iter_limit st
   in
@@ -729,13 +742,17 @@ let resolve_rhs ?iter_limit st rhs =
   let cold () = cold_solve ~iter_limit st in
   match st.last_status with
   | Some Optimal -> (
+      Trace.incr c_warm_attempts;
       recompute_xb st;
       let iters = ref 0 in
       match dual_loop st ~iter_limit iters with
       | D_optimal ->
-          if dual_feasible st then
+          if dual_feasible st then begin
+            Trace.incr c_warm_hits;
             extract_solution st ~status:Optimal ~iterations:!iters
+          end
           else begin
+            Trace.incr c_warm_fallbacks;
             Log.debug (fun m ->
                 m "dual simplex drifted out of dual feasibility; cold re-solve");
             cold ()
@@ -743,9 +760,18 @@ let resolve_rhs ?iter_limit st rhs =
       | D_infeasible ->
           (* confirm with a cold solve to guard against numerics *)
           let sol = cold () in
-          if sol.status = Optimal then sol
-          else extract_solution st ~status:Infeasible ~iterations:!iters
-      | D_iter_limit -> cold ())
+          if sol.status = Optimal then begin
+            Trace.incr c_warm_fallbacks;
+            sol
+          end
+          else begin
+            (* the warm dual correctly proved infeasibility *)
+            Trace.incr c_warm_hits;
+            extract_solution st ~status:Infeasible ~iterations:!iters
+          end
+      | D_iter_limit ->
+          Trace.incr c_warm_fallbacks;
+          cold ())
   | _ -> cold ()
 
 let solve_warm ?iter_limit st =

@@ -9,6 +9,21 @@ let src = Logs.Src.create "flexile.offline" ~doc:"Flexile offline phase"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 module Parallel = Flexile_util.Parallel
+module Trace = Flexile_util.Trace
+
+(* Observability: counters mirror the paper-facing accounting of
+   Algorithm 1 (shared-cut and pruning accelerations of §4.3), timers
+   split each iteration into its subproblem-sweep and master phases. *)
+let c_subs = Trace.counter "flexile.subproblems_solved"
+let c_cuts_gen = Trace.counter "flexile.cuts_generated"
+let c_cuts_shared = Trace.counter "flexile.cuts_shared"
+let c_pruned = Trace.counter "flexile.scenarios_pruned"
+let c_flips = Trace.counter "flexile.hamming_flips"
+let c_iters = Trace.counter "flexile.iterations"
+let c_masters = Trace.counter "flexile.master_solves"
+let t_sweep = Trace.timer "flexile.subproblem_sweep"
+let t_master = Trace.timer "flexile.master"
+let p_iteration = Trace.probe "flexile.iteration"
 
 type config = {
   max_iterations : int;
@@ -684,9 +699,12 @@ let solve ?(config = default_config) inst =
       in
       not ((config.prune && perfect.(sid)) || unchanged)
     in
+    Trace.incr c_iters;
+    Trace.event p_iteration !iteration;
     let results =
-      Scenario_engine.sweep_some ~jobs:config.jobs inst ~keep ~init:template_for
-        ~f:solve_scenario
+      Trace.with_span t_sweep (fun () ->
+          Scenario_engine.sweep_some ~jobs:config.jobs inst ~keep
+            ~init:template_for ~f:solve_scenario)
     in
     (* deterministic merge, ascending scenario order: losses, pruning
        state, the cut list and the shared-dual pool come out identical
@@ -694,9 +712,10 @@ let solve ?(config = default_config) inst =
     Array.iteri
       (fun sid outcome ->
         match outcome with
-        | None -> () (* pruned *)
+        | None -> Trace.incr c_pruned
         | Some attempt -> (
             incr subproblems;
+            Trace.incr c_subs;
             match attempt with
             | Some (obj, loss_col, di) ->
                 last_z_col.(sid) <- Some cols.(sid);
@@ -705,6 +724,7 @@ let solve ?(config = default_config) inst =
                   loss_col;
                 if obj <= 1e-9 && !iteration = 0 then perfect.(sid) <- true
                 else begin
+                  Trace.incr c_cuts_gen;
                   cuts :=
                     cut_for inst di ~target:sid ~scen_loss_opt
                       ~gamma:config.gamma
@@ -721,10 +741,12 @@ let solve ?(config = default_config) inst =
         (fun di ->
           for sid = 0 to nq - 1 do
             if perfect.(sid) then ()
-            else
+            else begin
+              Trace.incr c_cuts_shared;
               cuts :=
                 cut_for inst di ~target:sid ~scen_loss_opt ~gamma:config.gamma
                 :: !cuts
+            end
           done)
         !duals_pool;
     lap (Printf.sprintf "iteration %d subproblem sweep" !iteration);
@@ -750,20 +772,26 @@ let solve ?(config = default_config) inst =
           !cuts
       in
       cuts := pruned_cuts;
+      Trace.incr c_masters;
       match
-        solve_master inst ~config ~cuts:pruned_cuts ~z_prev:z ~coverage_target
-          ~perfect
+        Trace.with_span t_master (fun () ->
+            solve_master inst ~config ~cuts:pruned_cuts ~z_prev:z
+              ~coverage_target ~perfect)
       with
       | None ->
           Log.warn (fun m -> m "master did not produce a solution; stopping");
           stop := true
       | Some (z_new, bound) ->
           master_bound := Float.max !master_bound bound;
-          let same = ref true in
+          let flips = ref 0 in
           for fid = 0 to nf - 1 do
-            if z_new.(fid) <> z.(fid) then same := false;
+            for q = 0 to nq - 1 do
+              if z_new.(fid).(q) <> z.(fid).(q) then incr flips
+            done;
             Array.blit z_new.(fid) 0 z.(fid) 0 nq
           done;
+          Trace.add c_flips !flips;
+          let same = ref (!flips = 0) in
           let best_so_far =
             List.fold_left (fun a it -> Float.min a it.penalty) infinity
               !iterates
@@ -784,3 +812,37 @@ let solve ?(config = default_config) inst =
     subproblems_solved = !subproblems;
     wall_time = Unix.gettimeofday () -. t0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Trace export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_summary () =
+  let v name = float_of_int (Trace.value_by_name name) in
+  let warm_attempts = v "simplex.warm_attempts" in
+  let hit_rate =
+    if warm_attempts > 0. then v "simplex.warm_hits" /. warm_attempts else 0.
+  in
+  [
+    ("iterations", v "flexile.iterations");
+    ("subproblems_solved", v "flexile.subproblems_solved");
+    ("scenarios_pruned", v "flexile.scenarios_pruned");
+    ("cuts_generated", v "flexile.cuts_generated");
+    ("cuts_shared", v "flexile.cuts_shared");
+    ("hamming_flips", v "flexile.hamming_flips");
+    ("master_solves", v "flexile.master_solves");
+    ("warm_start_attempts", warm_attempts);
+    ("warm_start_hit_rate", hit_rate);
+    ( "subproblem_sweep_seconds",
+      Trace.timer_seconds_by_name "flexile.subproblem_sweep" );
+    ("master_seconds", Trace.timer_seconds_by_name "flexile.master");
+  ]
+
+let trace_json () =
+  let derived =
+    trace_summary ()
+    |> List.map (fun (k, x) -> Printf.sprintf "%S: %.6g" k x)
+    |> String.concat ", "
+  in
+  Printf.sprintf "{\"derived\": {%s}, \"report\": %s}" derived
+    (Trace.to_json ())

@@ -68,3 +68,14 @@ val selfcheck_subproblems : ?jobs:int -> Instance.t -> (int * float * float) lis
     each shard warm-restarting its own simplex — asserting that the
     parallel path agrees with independent cold solves scenario by
     scenario. *)
+
+val trace_summary : unit -> (string * float) list
+(** Derived observability metrics of the most recent run(s), read from
+    the {!Flexile_util.Trace} registry: warm-start attempts and hit
+    rate, cuts generated/shared, scenarios pruned, subproblems solved,
+    per-phase wall time.  All zero when tracing is disabled. *)
+
+val trace_json : unit -> string
+(** [{"derived": {..}, "report": <Trace.to_json ()>}] — the structured
+    trace section embedded by [bench --json] and written by
+    [flexile --trace OUT.json]. *)

@@ -1,13 +1,22 @@
 module Parallel = Flexile_util.Parallel
+module Trace = Flexile_util.Trace
 
 let default_jobs = Parallel.default_jobs
+let c_sweeps = Trace.counter "engine.sweeps"
+let c_scenarios = Trace.counter "engine.scenarios"
+let c_kept = Trace.counter "engine.scenarios_kept"
 
 let sweep ?jobs inst ~init ~f =
+  Trace.incr c_sweeps;
+  Trace.add c_scenarios (Instance.nscenarios inst);
   Parallel.map ?jobs ~n:(Instance.nscenarios inst) ~init ~f ()
 
 let sweep_some ?jobs inst ~keep ~init ~f =
   let nq = Instance.nscenarios inst in
   let kept = Array.init nq keep in
+  Trace.incr c_sweeps;
+  Trace.add c_scenarios nq;
+  Array.iter (fun k -> if k then Trace.incr c_kept) kept;
   Parallel.map ?jobs ~n:nq ~init
     ~f:(fun st sid -> if kept.(sid) then Some (f st sid) else None)
     ()

@@ -1,5 +1,11 @@
 let max_jobs = 64
 
+(* per-map sweep accounting: each worker times its own shard (recorded
+   into its domain's trace state), the caller derives the imbalance *)
+let c_maps = Trace.counter "parallel.maps"
+let t_busy = Trace.timer "parallel.worker_busy"
+let g_imbalance = Trace.gauge "parallel.imbalance_permille"
+
 let env_jobs () =
   match Sys.getenv_opt "FLEXILE_JOBS" with
   | None -> None
@@ -189,7 +195,34 @@ let parallel_map pool ~n ~init ~f =
           done
     end
   in
+  let tracing = Trace.enabled () in
+  let busy = if tracing then Array.make j 0L else [||] in
+  let task =
+    if not tracing then task
+    else fun w ->
+      (* worker slot [w] runs in exactly one domain per map, so the
+         slot write is unshared and the trace span lands in the
+         worker's own domain state *)
+      let t0 = Trace.now_ns () in
+      task w;
+      let dt = Int64.sub (Trace.now_ns ()) t0 in
+      busy.(w) <- dt;
+      Trace.add_ns t_busy dt
+  in
   run_tasks pool task;
+  if tracing then begin
+    Trace.incr c_maps;
+    let total = Array.fold_left Int64.add 0L busy in
+    let slowest = Array.fold_left max 0L busy in
+    if Int64.compare total 0L > 0 then
+      (* max worker busy time over the mean, in permille: 1000 = a
+         perfectly balanced sweep *)
+      Trace.gauge_max g_imbalance
+        (Int64.to_int
+           (Int64.div
+              (Int64.mul slowest (Int64.of_int (j * 1000)))
+              total))
+  end;
   (match Atomic.get err with Some e -> raise e | None -> ());
   Array.map (function Some v -> v | None -> assert false) out
 

@@ -1,0 +1,334 @@
+(* Per-domain trace state reached through domain-local storage: the hot
+   path (incr/add/event/with_span) touches only the calling domain's
+   arrays, so there is no cross-domain contention and no locking.  The
+   registry of metric names and the list of domain states are the only
+   shared structures, both mutex-protected and touched only at handle
+   creation / aggregation time.
+
+   Visibility: workers run under Parallel's pool, whose mutex-guarded
+   task handoff orders their state writes before the caller's reads, so
+   quiescent-point aggregation needs no further synchronization. *)
+
+(* ------------------------------------------------------------------ *)
+(* Enable flag                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let env_setting =
+  match Sys.getenv_opt "FLEXILE_TRACE" with
+  | None -> None
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "" | "0" | "false" | "off" -> Some false
+      | _ -> Some true)
+
+let enabled_flag = ref (env_setting = Some true)
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let env_disabled () = env_setting = Some false
+
+(* ------------------------------------------------------------------ *)
+(* Name registry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type kind = K_counter | K_gauge | K_timer | K_probe
+
+let reg_m = Mutex.create ()
+let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let reg_names : (string * kind) array ref = ref [||]
+
+let register name kind =
+  Mutex.lock reg_m;
+  let id =
+    match Hashtbl.find_opt reg_ids name with
+    | Some id -> id
+    | None ->
+        let id = Array.length !reg_names in
+        Hashtbl.add reg_ids name id;
+        reg_names := Array.append !reg_names [| (name, kind) |];
+        id
+  in
+  Mutex.unlock reg_m;
+  id
+
+let kind_of id = snd !reg_names.(id)
+let name_of id = fst !reg_names.(id)
+
+let lookup name =
+  Mutex.lock reg_m;
+  let r = Hashtbl.find_opt reg_ids name in
+  Mutex.unlock reg_m;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ring_capacity = 4096
+
+type dom_state = {
+  dom : int;
+  mutable ints : int array;  (* counter sums / gauge maxima, by id *)
+  mutable ns : int64 array;  (* timer accumulators, by id *)
+  mutable spans : int array;  (* timer span counts, by id *)
+  ev_id : int array;  (* event ring, slot = seq mod capacity *)
+  ev_arg : int array;
+  ev_ns : int64 array;
+  mutable ev_seq : int;  (* total events ever emitted by this domain *)
+}
+
+let states_m = Mutex.create ()
+let states : dom_state list ref = ref []
+
+let new_state () =
+  let st =
+    {
+      dom = (Domain.self () :> int);
+      ints = Array.make 64 0;
+      ns = Array.make 64 0L;
+      spans = Array.make 64 0;
+      ev_id = Array.make ring_capacity 0;
+      ev_arg = Array.make ring_capacity 0;
+      ev_ns = Array.make ring_capacity 0L;
+      ev_seq = 0;
+    }
+  in
+  Mutex.lock states_m;
+  states := st :: !states;
+  Mutex.unlock states_m;
+  st
+
+let dls_key = Domain.DLS.new_key new_state
+let my_state () = Domain.DLS.get dls_key
+
+(* Only the owning domain grows its arrays; readers bound their
+   accesses by the array length they observe. *)
+let ensure_ints st id =
+  let len = Array.length st.ints in
+  if id >= len then begin
+    let a = Array.make (max (id + 1) (2 * len)) 0 in
+    Array.blit st.ints 0 a 0 len;
+    st.ints <- a
+  end
+
+let ensure_timers st id =
+  let len = Array.length st.ns in
+  if id >= len then begin
+    let n = max (id + 1) (2 * len) in
+    let a = Array.make n 0L and c = Array.make n 0 in
+    Array.blit st.ns 0 a 0 len;
+    Array.blit st.spans 0 c 0 len;
+    st.ns <- a;
+    st.spans <- c
+  end
+
+let snapshot_states () =
+  Mutex.lock states_m;
+  let l = !states in
+  Mutex.unlock states_m;
+  (* oldest first, so folds are deterministic in registration order *)
+  List.sort (fun a b -> compare a.dom b.dom) l
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type counter = int
+
+let counter name = register name K_counter
+
+let add c n =
+  if !enabled_flag then begin
+    let st = my_state () in
+    ensure_ints st c;
+    st.ints.(c) <- st.ints.(c) + n
+  end
+
+let incr c = add c 1
+
+let value c =
+  List.fold_left
+    (fun acc st -> if c < Array.length st.ints then acc + st.ints.(c) else acc)
+    0 (snapshot_states ())
+
+type gauge = int
+
+let gauge name = register name K_gauge
+
+let gauge_max g v =
+  if !enabled_flag then begin
+    let st = my_state () in
+    ensure_ints st g;
+    if v > st.ints.(g) then st.ints.(g) <- v
+  end
+
+let gauge_value g =
+  List.fold_left
+    (fun acc st ->
+      if g < Array.length st.ints then max acc st.ints.(g) else acc)
+    0 (snapshot_states ())
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type timer = int
+
+let timer name = register name K_timer
+let now_ns () = Monotonic_clock.now ()
+
+let add_ns t dns =
+  if !enabled_flag then begin
+    let st = my_state () in
+    ensure_timers st t;
+    st.ns.(t) <- Int64.add st.ns.(t) dns;
+    st.spans.(t) <- st.spans.(t) + 1
+  end
+
+let with_span t f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+        add_ns t (Int64.sub (now_ns ()) t0);
+        v
+    | exception e ->
+        add_ns t (Int64.sub (now_ns ()) t0);
+        raise e
+  end
+
+let timer_ns t =
+  List.fold_left
+    (fun acc st ->
+      if t < Array.length st.ns then Int64.add acc st.ns.(t) else acc)
+    0L (snapshot_states ())
+
+let timer_seconds t = Int64.to_float (timer_ns t) /. 1e9
+
+let timer_count t =
+  List.fold_left
+    (fun acc st -> if t < Array.length st.spans then acc + st.spans.(t) else acc)
+    0 (snapshot_states ())
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type probe = int
+
+let probe name = register name K_probe
+
+let event p arg =
+  if !enabled_flag then begin
+    let st = my_state () in
+    let slot = st.ev_seq mod ring_capacity in
+    st.ev_id.(slot) <- p;
+    st.ev_arg.(slot) <- arg;
+    st.ev_ns.(slot) <- now_ns ();
+    st.ev_seq <- st.ev_seq + 1
+  end
+
+type event_record = {
+  name : string;
+  arg : int;
+  t_ns : int64;
+  dom : int;
+  seq : int;
+}
+
+let events () =
+  snapshot_states ()
+  |> List.concat_map (fun st ->
+         let first = max 0 (st.ev_seq - ring_capacity) in
+         List.init (st.ev_seq - first) (fun k ->
+             let seq = first + k in
+             let slot = seq mod ring_capacity in
+             {
+               name = name_of st.ev_id.(slot);
+               arg = st.ev_arg.(slot);
+               t_ns = st.ev_ns.(slot);
+               dom = st.dom;
+               seq;
+             }))
+
+let events_logged () =
+  List.fold_left (fun acc st -> acc + st.ev_seq) 0 (snapshot_states ())
+
+let events_dropped () =
+  List.fold_left
+    (fun acc st -> acc + max 0 (st.ev_seq - ring_capacity))
+    0 (snapshot_states ())
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated reads, reset, JSON                                       *)
+(* ------------------------------------------------------------------ *)
+
+let value_by_name name =
+  match lookup name with
+  | Some id -> (
+      match kind_of id with
+      | K_counter -> value id
+      | K_gauge -> gauge_value id
+      | _ -> 0)
+  | None -> 0
+
+let timer_seconds_by_name name =
+  match lookup name with Some id -> timer_seconds id | None -> 0.
+
+let reset () =
+  List.iter
+    (fun st ->
+      Array.fill st.ints 0 (Array.length st.ints) 0;
+      Array.fill st.ns 0 (Array.length st.ns) 0L;
+      Array.fill st.spans 0 (Array.length st.spans) 0;
+      st.ev_seq <- 0)
+    (snapshot_states ())
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () =
+  let ids =
+    Mutex.lock reg_m;
+    let a = Array.mapi (fun id (name, kind) -> (name, kind, id)) !reg_names in
+    Mutex.unlock reg_m;
+    Array.sort compare a;
+    Array.to_list a
+  in
+  let b = Buffer.create 512 in
+  let obj key kind fmt =
+    Printf.bprintf b "\"%s\":{" key;
+    let first = ref true in
+    List.iter
+      (fun (name, k, id) ->
+        if k = kind then begin
+          if not !first then Buffer.add_char b ',';
+          first := false;
+          Printf.bprintf b "\"%s\":" (json_escape name);
+          fmt id
+        end)
+      ids;
+    Buffer.add_char b '}'
+  in
+  Printf.bprintf b "{\"enabled\":%b," (enabled ());
+  obj "counters" K_counter (fun id -> Printf.bprintf b "%d" (value id));
+  Buffer.add_char b ',';
+  obj "gauges" K_gauge (fun id -> Printf.bprintf b "%d" (gauge_value id));
+  Buffer.add_char b ',';
+  obj "timers" K_timer (fun id ->
+      Printf.bprintf b "{\"seconds\":%.6f,\"count\":%d}" (timer_seconds id)
+        (timer_count id));
+  Printf.bprintf b ",\"events\":{\"logged\":%d,\"dropped\":%d}}"
+    (events_logged ()) (events_dropped ());
+  Buffer.contents b

@@ -1,0 +1,129 @@
+(** Low-overhead, domain-safe observability for the solver stack.
+
+    The module keeps one private state per domain (counters, gauges,
+    timer accumulators and a bounded event ring), reached through
+    domain-local storage, so the hot-path operations never contend on a
+    lock.  Aggregation happens only at read time, by folding over every
+    domain's state, and is meant to be called at {e quiescent points} —
+    after a {!Parallel.map} has returned, when the pool's handoff
+    protocol has already published the workers' writes.
+
+    Tracing is disabled by default; a disabled probe costs exactly one
+    load-and-branch per operation.  It is enabled either
+    programmatically ({!set_enabled}, e.g. by [flexile --trace] and the
+    bench harness) or by setting the [FLEXILE_TRACE] environment
+    variable to anything but [0]/[false]/[off].  [FLEXILE_TRACE=0]
+    explicitly vetoes tracing ({!env_disabled}), which the bench harness
+    honors when measuring overhead.
+
+    Determinism: counter values are integer sums over domains, so they
+    are identical for every job count whenever the traced work is
+    (which holds for every default — cold-solve — pipeline in this
+    repository).  The merged event stream is ordered by
+    [(domain id, per-domain sequence)], deterministic for a fixed job
+    count.  Timer and gauge values are wall-clock measurements and vary
+    run to run by nature. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val env_disabled : unit -> bool
+(** [true] iff the [FLEXILE_TRACE] environment variable explicitly
+    disables tracing ([0], [false], [off] or empty).  Harnesses that
+    enable tracing by default check this first. *)
+
+(** {1 Metrics}
+
+    Handles are registered by name in a process-global registry
+    (idempotent: the same name always yields the same handle).
+    Registration takes a mutex — create handles once at module
+    initialization or per coarse-grained call, never in inner loops. *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Sum over all domains.  Quiescent-point read. *)
+
+type gauge
+
+val gauge : string -> gauge
+
+val gauge_max : gauge -> int -> unit
+(** Record an observation; the gauge keeps the maximum. *)
+
+val gauge_value : gauge -> int
+(** Max over all domains (0 if never set). *)
+
+type timer
+
+val timer : string -> timer
+
+val with_span : timer -> (unit -> 'a) -> 'a
+(** Run the thunk and accumulate its monotonic-clock duration (and one
+    span count) into the calling domain's slot.  Exceptions propagate
+    after the span is recorded.  When disabled this is one branch and a
+    tail call. *)
+
+val add_ns : timer -> int64 -> unit
+(** Accumulate an externally-measured duration. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock ([CLOCK_MONOTONIC]), nanoseconds.  For callers
+    measuring sections that cannot be wrapped in a closure. *)
+
+val timer_ns : timer -> int64
+val timer_seconds : timer -> float
+val timer_count : timer -> int
+
+(** {1 Events}
+
+    Each domain owns a fixed-capacity ring; when full, the oldest
+    events are overwritten and counted as dropped.  Events are cheap
+    enough for per-iteration (not per-pivot) granularity. *)
+
+type probe
+
+val probe : string -> probe
+
+val event : probe -> int -> unit
+(** [event p arg] appends [(p, arg, now_ns)] to the calling domain's
+    ring. *)
+
+type event_record = {
+  name : string;
+  arg : int;
+  t_ns : int64;
+  dom : int;  (** id of the emitting domain *)
+  seq : int;  (** per-domain emission index *)
+}
+
+val events : unit -> event_record list
+(** Surviving events, ordered by [(dom, seq)].  Quiescent-point read. *)
+
+val events_logged : unit -> int
+val events_dropped : unit -> int
+
+(** {1 Aggregated reads and reporting} *)
+
+val value_by_name : string -> int
+(** Counter or gauge value by registered name; [0] for unknown names. *)
+
+val timer_seconds_by_name : string -> float
+(** [0.] for unknown names. *)
+
+val reset : unit -> unit
+(** Zero every counter, gauge, timer and event ring in every registered
+    domain state.  Quiescent-point operation. *)
+
+val to_json : unit -> string
+(** One-line JSON object:
+    [{"enabled":bool,"counters":{..},"gauges":{..},
+      "timers":{name:{"seconds":s,"count":n},..},
+      "events":{"logged":n,"dropped":n}}]
+    with keys sorted by name. *)

@@ -1,0 +1,176 @@
+(* Property tests of the simplex duality certificates and of the warm
+   restart path, plus exactness checks of the trace counters on the
+   warm/cold decision (the observability layer must agree with what the
+   solver actually did). *)
+
+open Flexile_lp
+module Prng = Flexile_util.Prng
+module Trace = Flexile_util.Trace
+
+let solve_status = function
+  | Simplex.Optimal -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Iteration_limit -> "iter-limit"
+
+(* Random bounded LP: every variable lives in [0, 4], so the problem is
+   never unbounded and weak duality questions are always well-posed. *)
+let random_lp prng ~nv ~nr =
+  let m = Lp_model.create () in
+  let vars =
+    Array.init nv (fun _ ->
+        Lp_model.add_var m ~ub:4. ~obj:(Prng.uniform prng (-2.) 2.) ())
+  in
+  for _ = 1 to nr do
+    let coeffs =
+      Array.to_list
+        (Array.map (fun v -> (v, float_of_int (Prng.int prng 7 - 3))) vars)
+    in
+    let sense = if Prng.bool prng 0.7 then Lp_model.Le else Lp_model.Ge in
+    ignore (Lp_model.add_row m sense (Prng.uniform prng (-2.) 6.) coeffs)
+  done;
+  m
+
+let cold_with_rhs m rhs =
+  Array.iteri (fun r v -> Lp_model.set_rhs m r v) rhs;
+  Simplex.solve m
+
+(* ---- weak duality of Simplex.dual_bound ---- *)
+
+let qcheck_weak_duality =
+  let gen = QCheck.Gen.(pair (int_range 2 7) (int_range 1 6)) in
+  QCheck.Test.make ~name:"dual_bound: exact at original rhs, weak elsewhere"
+    ~count:150 (QCheck.make gen) (fun (nv, nr) ->
+      let prng = Prng.of_string (Printf.sprintf "qc-wd-%d-%d" nv nr) in
+      let m = random_lp prng ~nv ~nr in
+      let rhs0 = Array.init (Lp_model.nrows m) (Lp_model.rhs m) in
+      let sol = Simplex.solve m in
+      match sol.Simplex.status with
+      | Simplex.Optimal ->
+          (* strong duality: the parametric bound reproduces the
+             optimum at the rhs it was computed for *)
+          Float.abs (Simplex.dual_bound sol ~rhs:rhs0 -. sol.Simplex.obj)
+          <= 1e-6 *. (1. +. Float.abs sol.Simplex.obj)
+          && (* weak duality on random perturbations: never above the
+                cold re-solve's optimum (vacuous when perturbed rhs is
+                infeasible, i.e. optimum = +inf) *)
+          List.for_all
+            (fun _ ->
+              let rhs =
+                Array.map (fun v -> v +. Prng.uniform prng (-2.) 2.) rhs0
+              in
+              let bound = Simplex.dual_bound sol ~rhs in
+              let cold = cold_with_rhs m rhs in
+              match cold.Simplex.status with
+              | Simplex.Optimal ->
+                  bound
+                  <= cold.Simplex.obj
+                     +. (1e-6 *. (1. +. Float.abs cold.Simplex.obj))
+              | Simplex.Infeasible -> true
+              | _ -> false)
+            [ (); (); () ]
+      | Simplex.Infeasible -> true
+      | _ -> false)
+
+(* ---- differential: warm rhs walk vs cold re-solves ---- *)
+
+let qcheck_warm_walk_differential =
+  (* a walk of large rhs jumps: many steps flip row activity enough to
+     invalidate the basis, exercising both the dual-simplex success
+     path and the cold-fallback path; every step must agree with a
+     cold solve on status, objective (1e-6 relative) and feasibility *)
+  let gen = QCheck.Gen.(pair (int_range 2 7) (int_range 1 6)) in
+  QCheck.Test.make ~name:"warm rhs walk matches cold solves to 1e-6"
+    ~count:100 (QCheck.make gen) (fun (nv, nr) ->
+      let prng = Prng.of_string (Printf.sprintf "qc-walk-%d-%d" nv nr) in
+      let m = random_lp prng ~nv ~nr in
+      let st = Simplex.make m in
+      let _ = Simplex.solve_warm st in
+      let ok = ref true in
+      for _ = 1 to 6 do
+        if !ok then begin
+          let rhs =
+            Array.init (Lp_model.nrows m) (fun _ -> Prng.uniform prng (-3.) 8.)
+          in
+          let warm = Simplex.resolve_rhs st rhs in
+          let cold = cold_with_rhs m rhs in
+          ok :=
+            (match (warm.Simplex.status, cold.Simplex.status) with
+            | Simplex.Optimal, Simplex.Optimal ->
+                Float.abs (warm.Simplex.obj -. cold.Simplex.obj)
+                <= 1e-6 *. (1. +. Float.abs cold.Simplex.obj)
+                && Lp_model.max_violation m warm.Simplex.x <= 1e-6
+            | a, b -> a = b)
+        end
+      done;
+      !ok)
+
+(* ---- the warm/cold decision is visible in the trace counters ---- *)
+
+let expect_status name expected sol =
+  Alcotest.(check string) name expected (solve_status sol.Simplex.status)
+
+let test_warm_fallback_counters () =
+  let was = Trace.enabled () in
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was) @@ fun () ->
+  let v name = Trace.value_by_name name in
+  (* min x, x in [0,5], x >= rhs: rhs 7 makes the warm basis prove
+     infeasibility (confirmed cold), rhs 3 then re-solves cold because
+     the state is no longer optimal — both legs of the fallback path *)
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m ~ub:5. ~obj:1. () in
+  let _ = Lp_model.add_row m Lp_model.Ge 2. [ (x, 1.) ] in
+  let st = Simplex.make m in
+  let c0 = v "simplex.cold_solves" in
+  let sol1 = Simplex.solve_warm st in
+  expect_status "first solve" "optimal" sol1;
+  Alcotest.(check int) "first solve is cold" (c0 + 1) (v "simplex.cold_solves");
+  let a0 = v "simplex.warm_attempts" and c1 = v "simplex.cold_solves" in
+  let sol2 = Simplex.resolve_rhs st [| 7. |] in
+  expect_status "rhs 7" "infeasible" sol2;
+  Alcotest.(check int) "warm attempt counted" (a0 + 1)
+    (v "simplex.warm_attempts");
+  Alcotest.(check int) "infeasibility confirmed by a cold solve" (c1 + 1)
+    (v "simplex.cold_solves");
+  let c2 = v "simplex.cold_solves" in
+  let sol3 = Simplex.resolve_rhs st [| 3. |] in
+  expect_status "rhs 3" "optimal" sol3;
+  if Float.abs (sol3.Simplex.obj -. 3.) > 1e-9 then
+    Alcotest.failf "rhs 3: expected obj 3, got %.9g" sol3.Simplex.obj;
+  Alcotest.(check int) "invalidated basis falls back to cold" (c2 + 1)
+    (v "simplex.cold_solves")
+
+let test_warm_hit_counted () =
+  let was = Trace.enabled () in
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was) @@ fun () ->
+  let v name = Trace.value_by_name name in
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m ~obj:(-2.) () in
+  let y = Lp_model.add_var m ~obj:(-3.) () in
+  let _ = Lp_model.add_row m Lp_model.Le 10. [ (x, 1.); (y, 2.) ] in
+  let _ = Lp_model.add_row m Lp_model.Le 15. [ (x, 3.); (y, 1.) ] in
+  let st = Simplex.make m in
+  let sol1 = Simplex.solve_warm st in
+  expect_status "initial" "optimal" sol1;
+  let h0 = v "simplex.warm_hits" in
+  let sol2 = Simplex.resolve_rhs st [| 8.; 12. |] in
+  expect_status "warm resolve" "optimal" sol2;
+  Alcotest.(check int) "warm hit counted" (h0 + 1) (v "simplex.warm_hits")
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "flexile_lp_props"
+    [
+      ( "duality",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_weak_duality ] );
+      ( "warm-vs-cold",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_warm_walk_differential ]
+      );
+      ( "trace-counters",
+        [
+          quick "fallback legs counted" test_warm_fallback_counters;
+          quick "warm hit counted" test_warm_hit_counted;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests of the Trace observability layer: cross-domain counter
+   aggregation, exactness of the solver counters against the solver's
+   own result fields, the disabled-by-default contract, and the JSON
+   report shape. *)
+
+module Trace = Flexile_util.Trace
+module Parallel = Flexile_util.Parallel
+module Offline = Flexile_te.Flexile_offline
+
+let with_tracing enabled f =
+  let was = Trace.enabled () in
+  Trace.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was) f
+
+(* ---- counters sum across domains ---- *)
+
+let test_counter_sums_across_domains () =
+  with_tracing true @@ fun () ->
+  let c = Trace.counter "test.cross_domain" in
+  let base = Trace.value c in
+  let n = 103 in
+  let _ =
+    Parallel.map ~jobs:4 ~n
+      ~init:(fun _ -> ())
+      ~f:(fun () i ->
+        Trace.incr c;
+        i)
+      ()
+  in
+  Alcotest.(check int) "n increments over 4 domains" (base + n) (Trace.value c)
+
+let test_timer_and_gauge_merge () =
+  with_tracing true @@ fun () ->
+  let t = Trace.timer "test.span" in
+  let g = Trace.gauge "test.gauge" in
+  let n0 = Trace.timer_count t in
+  let _ =
+    Parallel.map ~jobs:2 ~n:8
+      ~init:(fun _ -> ())
+      ~f:(fun () i ->
+        Trace.with_span t (fun () -> Trace.gauge_max g i);
+        i)
+      ()
+  in
+  Alcotest.(check int) "span count sums" (n0 + 8) (Trace.timer_count t);
+  Alcotest.(check int) "gauge keeps the max" 7 (Trace.gauge_value g);
+  if Trace.timer_seconds t < 0. then Alcotest.fail "negative span time"
+
+let test_events_ordered () =
+  with_tracing true @@ fun () ->
+  let p = Trace.probe "test.event" in
+  Trace.event p 1;
+  Trace.event p 2;
+  Trace.event p 3;
+  let mine =
+    Trace.events () |> List.filter (fun e -> e.Trace.name = "test.event")
+  in
+  Alcotest.(check (list int))
+    "args in emission order" [ 1; 2; 3 ]
+    (List.map (fun e -> e.Trace.arg) mine);
+  let seqs = List.map (fun e -> e.Trace.seq) mine in
+  if List.sort compare seqs <> seqs then Alcotest.fail "seq not monotone"
+
+(* ---- disabled tracing records nothing ---- *)
+
+let test_disabled_records_nothing () =
+  with_tracing false @@ fun () ->
+  let c = Trace.counter "test.disabled_counter" in
+  let t = Trace.timer "test.disabled_timer" in
+  let p = Trace.probe "test.disabled_event" in
+  let c0 = Trace.value c
+  and n0 = Trace.timer_count t
+  and e0 = Trace.events_logged () in
+  Trace.incr c;
+  Trace.add c 41;
+  Trace.with_span t (fun () -> ());
+  Trace.event p 7;
+  Alcotest.(check int) "counter untouched" c0 (Trace.value c);
+  Alcotest.(check int) "timer untouched" n0 (Trace.timer_count t);
+  Alcotest.(check int) "no events logged" e0 (Trace.events_logged ())
+
+(* ---- solver counters are exact ---- *)
+
+let test_flexile_counters_exact () =
+  with_tracing true @@ fun () ->
+  Trace.reset ();
+  let inst = Flexile_core.Builder.fig1 () in
+  let r = Offline.solve inst in
+  Alcotest.(check int)
+    "subproblems counter = result field" r.Offline.subproblems_solved
+    (Trace.value_by_name "flexile.subproblems_solved");
+  Alcotest.(check int)
+    "iteration counter = iterate count"
+    (List.length r.Offline.iterates)
+    (Trace.value_by_name "flexile.iterations");
+  let summary = Offline.trace_summary () in
+  let get k = List.assoc k summary in
+  if get "subproblems_solved" <> float_of_int r.Offline.subproblems_solved then
+    Alcotest.fail "trace_summary disagrees with counter";
+  if get "subproblem_sweep_seconds" <= 0. then
+    Alcotest.fail "sweep timer did not accumulate"
+
+let test_flexile_disabled_counts_zero () =
+  Trace.reset ();
+  with_tracing false @@ fun () ->
+  let inst = Flexile_core.Builder.fig1 () in
+  let r = Offline.solve inst in
+  if r.Offline.subproblems_solved <= 0 then
+    Alcotest.fail "toy instance should solve subproblems";
+  Alcotest.(check int) "disabled: counter stays zero" 0
+    (Trace.value_by_name "flexile.subproblems_solved");
+  Alcotest.(check int) "disabled: no events" 0 (Trace.events_logged ())
+
+(* ---- JSON report ---- *)
+
+let test_json_shape () =
+  with_tracing true @@ fun () ->
+  Trace.incr (Trace.counter "test.json_counter");
+  let j = Trace.to_json () in
+  let must s =
+    if not (String.length j >= String.length s) then
+      Alcotest.failf "report too short for %s" s;
+    let found = ref false in
+    for i = 0 to String.length j - String.length s do
+      if String.sub j i (String.length s) = s then found := true
+    done;
+    if not !found then Alcotest.failf "report lacks %s: %s" s j
+  in
+  must "\"enabled\":true";
+  must "\"counters\"";
+  must "\"test.json_counter\"";
+  must "\"timers\"";
+  must "\"events\"";
+  let oj = Offline.trace_json () in
+  List.iter
+    (fun s ->
+      if
+        not
+          (let n = String.length s in
+           let found = ref false in
+           for i = 0 to String.length oj - n do
+             if String.sub oj i n = s then found := true
+           done;
+           !found)
+      then Alcotest.failf "offline trace lacks %s" s)
+    [ "\"derived\""; "\"warm_start_hit_rate\""; "\"report\"" ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "flexile_trace"
+    [
+      ( "aggregation",
+        [
+          quick "counters sum across domains" test_counter_sums_across_domains;
+          quick "timers and gauges merge" test_timer_and_gauge_merge;
+          quick "events keep order" test_events_ordered;
+        ] );
+      ( "disabled",
+        [
+          quick "no-op when disabled" test_disabled_records_nothing;
+          quick "solver counters stay zero" test_flexile_disabled_counts_zero;
+        ] );
+      ( "solver",
+        [ quick "offline counters exact" test_flexile_counters_exact ] );
+      ("json", [ quick "report shape" test_json_shape ]);
+    ]
