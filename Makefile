@@ -1,4 +1,4 @@
-.PHONY: all build test bench verify clean
+.PHONY: all build test bench verify baseline clean
 
 all: build
 
@@ -11,12 +11,25 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Tier-1 verification: full build, the test suite, and a smoke run of
-# the micro-benchmarks (exercises the parallel sweep at jobs 1 and 4).
+# Relative headroom for the benchmark regression gate.  50% absorbs
+# ordinary same-machine jitter; CI overrides this upward because the
+# committed baseline was recorded on a different machine.
+BENCH_TOLERANCE ?= 50
+
+# Tier-1 verification: full build, the test suite, a smoke run of the
+# micro-benchmarks (exercises the parallel sweep at jobs 1 and 4), and
+# the regression gate against the committed baseline.
 verify:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- --micro
+	dune exec bench/main.exe -- --gate --repeat 3 --jobs 2 \
+	  --check BENCH_PR3.json --tolerance $(BENCH_TOLERANCE)
+
+# Re-record the committed gate baseline (run on an idle machine).
+baseline:
+	dune exec bench/main.exe -- --gate --repeat 5 --jobs 2 \
+	  --baseline BENCH_PR3.json
 
 clean:
 	dune clean

@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the
-   paper's evaluation (see DESIGN.md section 4 for the index) and runs
-   Bechamel micro-benchmarks of the computational kernels.
+   paper's evaluation (see DESIGN.md section 4 for the index), runs
+   Bechamel micro-benchmarks of the computational kernels, and drives
+   the perf regression gate.
 
    Usage:
      dune exec bench/main.exe                 -- all figures, quick profile
@@ -8,11 +9,16 @@
      dune exec bench/main.exe -- --full       -- all 20 topologies (slow)
      dune exec bench/main.exe -- --micro      -- Bechamel kernels only
      dune exec bench/main.exe -- --jobs 4     -- domain-parallel sweeps
-     dune exec bench/main.exe -- --json out.json  -- machine-readable timings *)
+     dune exec bench/main.exe -- --json out.json  -- machine-readable timings
+     dune exec bench/main.exe -- --chrome out.json -- Chrome/Perfetto trace
+     dune exec bench/main.exe -- --gate --repeat 5 --baseline BENCH_PR3.json
+     dune exec bench/main.exe -- --check BENCH_PR3.json --tolerance 25 *)
 
 open Flexile_core
 module Parallel = Flexile_util.Parallel
 module Trace = Flexile_util.Trace
+module Trace_export = Flexile_util.Trace_export
+module Bench_gate = Flexile_util.Bench_gate
 
 (* Bechamel kernels; returns [(name, ms_per_run)] for the JSON dump. *)
 let micro_benchmarks ~jobs () =
@@ -97,6 +103,116 @@ let micro_benchmarks ~jobs () =
           None)
     (List.sort compare rows)
 
+(* ---- regression-gate phases (--gate / --baseline / --check) ----
+
+   A fixed, deterministic, small workload exercising the whole solver
+   stack, repeated --repeat times; the gate compares per-phase medians
+   against a committed baseline (BENCH_PR3.json).  Two phases are
+   carved out of the offline solve through the Trace timers, so a
+   regression localized to the subproblem sweep or the master MIP is
+   attributed, not just smeared over the parent phase. *)
+
+let gate_phase_order =
+  [
+    "instance-build"; "offline-solve"; "offline-sweep"; "offline-master";
+    "online-alloc"; "scenbest-sweep"; "swan-maxmin"; "simplex-60x40";
+  ]
+
+let simplex_gate_model () =
+  let model = Flexile_lp.Lp_model.create () in
+  let vars =
+    Array.init 60 (fun i ->
+        Flexile_lp.Lp_model.add_var model ~ub:10.
+          ~obj:(-.float_of_int (1 + (i mod 7)))
+          ())
+  in
+  for r = 0 to 39 do
+    let coeffs =
+      Array.to_list
+        (Array.mapi (fun j v -> (v, float_of_int (1 + ((r + j) mod 5)))) vars)
+    in
+    ignore (Flexile_lp.Lp_model.add_row model Flexile_lp.Lp_model.Le 50. coeffs)
+  done;
+  model
+
+let run_gate ~jobs ~repeat =
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let record name s =
+    let l =
+      match Hashtbl.find_opt samples name with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add samples name l;
+          l
+    in
+    l := s :: !l
+  in
+  let options =
+    {
+      Builder.default_options with
+      Builder.max_scenarios = 24;
+      max_pairs = 60;
+      jobs;
+    }
+  in
+  for rep = 1 to repeat do
+    Printf.printf "gate repetition %d/%d\n%!" rep repeat;
+    let timed name f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      record name (Unix.gettimeofday () -. t0);
+      r
+    in
+    let sweep0 = Trace.timer_seconds_by_name "flexile.subproblem_sweep" in
+    let master0 = Trace.timer_seconds_by_name "flexile.master" in
+    let inst =
+      timed "instance-build" (fun () -> Builder.of_name ~options "IBM")
+    in
+    let offline =
+      timed "offline-solve" (fun () ->
+          Flexile_te.Flexile_offline.solve
+            ~config:
+              {
+                Flexile_te.Flexile_offline.default_config with
+                Flexile_te.Flexile_offline.max_iterations = 2;
+                jobs;
+              }
+            inst)
+    in
+    record "offline-sweep"
+      (Trace.timer_seconds_by_name "flexile.subproblem_sweep" -. sweep0);
+    record "offline-master"
+      (Trace.timer_seconds_by_name "flexile.master" -. master0);
+    ignore
+      (timed "online-alloc" (fun () ->
+           Flexile_te.Flexile_online.run ~jobs inst ~offline));
+    ignore (timed "scenbest-sweep" (fun () -> Flexile_te.Scenbest.run ~jobs inst));
+    ignore (timed "swan-maxmin" (fun () -> Flexile_te.Swan.run_maxmin ~jobs inst));
+    ignore
+      (timed "simplex-60x40" (fun () ->
+           (* FLEXILE_GATE_HANDICAP_MS: deliberately slow this phase so
+              the regression gate's failure path can be exercised
+              end-to-end (see DESIGN.md §8) *)
+           (match Sys.getenv_opt "FLEXILE_GATE_HANDICAP_MS" with
+           | Some v -> (
+               match int_of_string_opt (String.trim v) with
+               | Some ms when ms > 0 -> Unix.sleepf (float_of_int ms /. 1000.)
+               | _ -> ())
+           | None -> ());
+           let model = simplex_gate_model () in
+           for _ = 1 to 20 do
+             ignore (Flexile_lp.Simplex.solve model)
+           done))
+  done;
+  List.map
+    (fun name ->
+      let l =
+        match Hashtbl.find_opt samples name with Some l -> !l | None -> []
+      in
+      (name, Bench_gate.median l))
+    gate_phase_order
+
 (* ---- machine-readable dump (--json FILE) ---- *)
 
 let json_escape s =
@@ -130,6 +246,9 @@ let write_json path ~profile_name ~jobs ~figures ~micro =
     (fun (name, ms) ->
       item "{\"name\":\"%s\",\"ms_per_run\":%.6f}" (json_escape name) ms)
     micro;
+  (* the trace section is the full registry — every module's counters,
+     gauges, timers and span totals, plus the hierarchical span tree —
+     not just the offline solver's derived summary *)
   item "],\"trace\":%s}\n" (Flexile_te.Flexile_offline.trace_json ());
   close_out oc;
   Printf.printf "\nwrote timings to %s\n" path
@@ -140,6 +259,12 @@ let () =
   let micro = ref false in
   let jobs = ref 0 in
   let json = ref "" in
+  let gate = ref false in
+  let repeat = ref 0 in
+  let baseline_out = ref "" in
+  let check_file = ref "" in
+  let tolerance = ref 25. in
+  let chrome = ref "" in
   let args =
     [
       ( "--fig",
@@ -152,9 +277,29 @@ let () =
         Arg.Set_int jobs,
         "worker domains for scenario sweeps (0 = auto/FLEXILE_JOBS)" );
       ("--json", Arg.Set_string json, "dump figure + micro timings to FILE");
+      ( "--gate",
+        Arg.Set gate,
+        "run the fixed regression-gate phases instead of the figures" );
+      ( "--repeat",
+        Arg.Set_int repeat,
+        "repetitions for the gate phases (medians; default 3)" );
+      ( "--baseline",
+        Arg.Set_string baseline_out,
+        "write the gate medians as a baseline FILE (implies --gate)" );
+      ( "--check",
+        Arg.Set_string check_file,
+        "compare the gate medians against a baseline FILE and exit \
+         non-zero on regression (implies --gate)" );
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "allowed regression over the baseline, percent (default 25)" );
+      ( "--chrome",
+        Arg.Set_string chrome,
+        "write a Chrome trace-event JSON FILE of the run (Perfetto)" );
     ]
   in
   Arg.parse args (fun _ -> ()) "flexile benchmark harness";
+  if !baseline_out <> "" || !check_file <> "" then gate := true;
   (* tracing is on by default under the bench harness so --json can
      report solver counters; FLEXILE_TRACE=0 vetoes it, which is how
      the no-overhead path is itself benchmarked *)
@@ -180,9 +325,66 @@ let () =
     }
   in
   let profile_name = if !full then "full" else "quick" in
-  Printf.printf "flexile bench: profile=%s jobs=%d (effective %d)\n" profile_name
-    jobs
-    (Parallel.resolve_jobs (Some jobs));
+  let effective_jobs = Parallel.resolve_jobs (Some jobs) in
+  Printf.printf "flexile bench: profile=%s jobs=%d (effective %d)\n"
+    (if !gate then "gate" else profile_name)
+    jobs effective_jobs;
+  if !gate then begin
+    let repeat = if !repeat > 0 then !repeat else 3 in
+    let phases = run_gate ~jobs ~repeat in
+    Printf.printf "\ngate medians over %d repetitions (jobs=%d):\n" repeat
+      effective_jobs;
+    List.iter
+      (fun (name, s) -> Printf.printf "  %-24s %10.4f s\n" name s)
+      phases;
+    let measured =
+      {
+        Bench_gate.profile = "gate";
+        jobs = effective_jobs;
+        repetitions = repeat;
+        phases =
+          List.map
+            (fun (n, s) -> { Bench_gate.pname = n; median_seconds = s })
+            phases;
+      }
+    in
+    if !baseline_out <> "" then begin
+      Bench_gate.save !baseline_out measured;
+      Printf.printf "wrote baseline to %s\n" !baseline_out
+    end;
+    if !json <> "" then begin
+      let oc = open_out !json in
+      output_string oc
+        (Bench_gate.to_json
+           ~extra:[ ("trace", Flexile_te.Flexile_offline.trace_json ()) ]
+           measured);
+      close_out oc;
+      Printf.printf "wrote gate measurements to %s\n" !json
+    end;
+    if !chrome <> "" then begin
+      Trace_export.write_file !chrome (Trace_export.chrome_json ());
+      Printf.printf "wrote Chrome trace to %s\n" !chrome
+    end;
+    if !check_file <> "" then begin
+      match Bench_gate.load !check_file with
+      | Error e ->
+          Printf.eprintf "cannot load baseline: %s\n" e;
+          exit 2
+      | Ok baseline ->
+          if baseline.Bench_gate.jobs <> effective_jobs then
+            Printf.printf
+              "warning: baseline was recorded with jobs=%d, this run uses \
+               jobs=%d\n"
+              baseline.Bench_gate.jobs effective_jobs;
+          let verdicts =
+            Bench_gate.check ~baseline ~current:phases
+              ~tolerance_pct:!tolerance ()
+          in
+          Bench_gate.print_verdicts ~tolerance_pct:!tolerance verdicts;
+          if not (Bench_gate.passed verdicts) then exit 1
+    end;
+    exit 0
+  end;
   let fig_timings = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
@@ -222,4 +424,8 @@ let () =
   end;
   if !json <> "" then
     write_json !json ~profile_name ~jobs ~figures:(List.rev !fig_timings)
-      ~micro:!micro_rows
+      ~micro:!micro_rows;
+  if !chrome <> "" then begin
+    Trace_export.write_file !chrome (Trace_export.chrome_json ());
+    Printf.printf "wrote Chrome trace to %s\n" !chrome
+  end

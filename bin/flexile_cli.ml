@@ -11,24 +11,41 @@ module Trace = Flexile_util.Trace
    dump the merged report when the command finishes *)
 let trace_arg =
   let doc =
-    "Enable solver tracing and write the structured JSON report \
-     (counters, per-phase timers, events) to $(docv) when the command \
-     completes.  Tracing can also be forced on for any command with \
-     FLEXILE_TRACE=1."
+    "Enable solver tracing and write the structured JSON report (the \
+     full metric registry — every module's counters, gauges and \
+     timers — plus the hierarchical span tree) to $(docv) when the \
+     command completes.  Tracing can also be forced on for any command \
+     with FLEXILE_TRACE=1."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let with_trace out f =
-  (match out with Some _ -> Trace.set_enabled true | None -> ());
+(* --trace-chrome OUT.json: same instrumentation, exported as Chrome
+   trace events for Perfetto / chrome://tracing *)
+let chrome_arg =
+  let doc =
+    "Enable solver tracing and write a Chrome trace-event JSON file to \
+     $(docv) (load it in Perfetto or chrome://tracing: one track per \
+     domain, nested spans for the offline iterations, per-scenario \
+     subproblems and master solves, plus counter samples)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE" ~doc)
+
+let with_trace out chrome f =
+  if out <> None || chrome <> None then Trace.set_enabled true;
   f ();
-  match out with
-  | None -> ()
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Flexile_te.Flexile_offline.trace_json ());
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote trace to %s\n" path
+  Option.iter
+    (fun path ->
+      Flexile_util.Trace_export.write_file path
+        (Flexile_te.Flexile_offline.trace_json ());
+      Printf.printf "wrote trace to %s\n" path)
+    out;
+  Option.iter
+    (fun path ->
+      Flexile_util.Trace_export.write_file path
+        (Flexile_util.Trace_export.chrome_json ());
+      Printf.printf "wrote Chrome trace to %s (load in Perfetto)\n" path)
+    chrome
 
 let verbose_term =
   let doc = "Enable informational logging." in
@@ -104,8 +121,9 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "gamma" ]
            ~doc:"Bound non-critical flows' loss to gamma + per-scenario optimum (section 4.4).")
   in
-  let run () name two max_scenarios max_pairs iterations gamma jobs trace =
-    with_trace trace @@ fun () ->
+  let run () name two max_scenarios max_pairs iterations gamma jobs trace
+      chrome =
+    with_trace trace chrome @@ fun () ->
     let inst = build_instance ~two ~max_scenarios ~max_pairs name in
     print_instance inst;
     let config =
@@ -129,7 +147,7 @@ let solve_cmd =
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
           $ scenarios_arg $ pairs_arg $ iterations $ gamma $ jobs_arg
-          $ trace_arg)
+          $ trace_arg $ chrome_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run Flexile (offline + online) on a topology.") term
 
@@ -140,8 +158,8 @@ let compare_cmd =
     let doc = "Comma-separated schemes (default: Flexile,SMORE,SWAN-Maxmin)." in
     Arg.(value & opt string "Flexile,SMORE,SWAN-Maxmin" & info [ "schemes" ] ~doc)
   in
-  let run () name two max_scenarios max_pairs schemes jobs trace =
-    with_trace trace @@ fun () ->
+  let run () name two max_scenarios max_pairs schemes jobs trace chrome =
+    with_trace trace chrome @@ fun () ->
     let inst = build_instance ~two ~max_scenarios ~max_pairs name in
     print_instance inst;
     String.split_on_char ',' schemes
@@ -158,7 +176,8 @@ let compare_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ schemes_arg $ jobs_arg $ trace_arg)
+          $ scenarios_arg $ pairs_arg $ schemes_arg $ jobs_arg $ trace_arg
+          $ chrome_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare TE schemes on a topology.") term
 

@@ -53,12 +53,57 @@ let ip_binaries inst = Instance.nflows inst * Instance.nscenarios inst
 
 module Trace = Flexile_util.Trace
 
-(* one wall-time timer per scheme, e.g. "scheme.Flexile"; registration
-   is idempotent so looking the handle up per run is fine (run is
-   called a handful of times per figure, never in an inner loop) *)
+(* GC accounting per scheme run (quick_stat deltas for the calling
+   domain): allocation regressions surface in the registry dump next
+   to wall times.  The per-run deltas also ride on each "scheme.<Name>"
+   span record, so the Chrome trace shows words allocated per run. *)
+let c_gc_minor = Trace.counter "gc.minor_words"
+let c_gc_major = Trace.counter "gc.major_words"
+let c_gc_promoted = Trace.counter "gc.promoted_words"
+let c_gc_major_collections = Trace.counter "gc.major_collections"
+let c_gc_minor_collections = Trace.counter "gc.minor_collections"
+let c_gc_compactions = Trace.counter "gc.compactions"
+
+let with_gc_accounting f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    (* Gc.minor_words, not quick_stat's minor_words: the latter only
+       advances at minor-collection boundaries and reads zero for runs
+       that fit in the nursery. *)
+    let m0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
+    let finish () =
+      let m1 = Gc.minor_words () in
+      let g1 = Gc.quick_stat () in
+      Trace.add c_gc_minor (int_of_float (m1 -. m0));
+      Trace.add c_gc_major
+        (int_of_float (g1.Gc.major_words -. g0.Gc.major_words));
+      Trace.add c_gc_promoted
+        (int_of_float (g1.Gc.promoted_words -. g0.Gc.promoted_words));
+      Trace.add c_gc_major_collections
+        (g1.Gc.major_collections - g0.Gc.major_collections);
+      Trace.add c_gc_minor_collections
+        (g1.Gc.minor_collections - g0.Gc.minor_collections);
+      Trace.add c_gc_compactions (g1.Gc.compactions - g0.Gc.compactions)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* one wall-clock span per scheme, e.g. "scheme.Flexile" (spans double
+   as timers, so per-scheme totals still appear in the registry dump);
+   registration is idempotent so looking the handle up per run is fine
+   (run is called a handful of times per figure, never in an inner
+   loop) *)
 let run ?flexile_config ?(size_guard = true) ?(jobs = 0) scheme inst =
-  Trace.with_span
-    (Trace.timer ("scheme." ^ name scheme))
+  with_gc_accounting @@ fun () ->
+  Trace.in_span
+    (Trace.span ("scheme." ^ name scheme))
     (fun () ->
       match scheme with
       | Flexile ->

@@ -27,6 +27,8 @@ module Trace = Flexile_util.Trace
 (* Probes are per-solve, never per-pivot: with tracing disabled each
    costs one branch, with it enabled one domain-local array write. *)
 let c_cold_solves = Trace.counter "simplex.cold_solves"
+let sp_solve = Trace.span "simplex.solve"
+let sp_resolve = Trace.span "simplex.resolve_rhs"
 let c_iterations = Trace.counter "simplex.iterations"
 let c_refactorizations = Trace.counter "simplex.refactorizations"
 let c_warm_attempts = Trace.counter "simplex.warm_attempts"
@@ -734,6 +736,7 @@ let dual_feasible st =
   !ok
 
 let resolve_rhs ?iter_limit st rhs =
+  Trace.in_span sp_resolve @@ fun () ->
   if Array.length rhs <> st.m then invalid_arg "Simplex.resolve_rhs";
   Array.blit rhs 0 st.b 0 st.m;
   let iter_limit =
@@ -850,6 +853,7 @@ let extend st model =
   | _ -> st2
 
 let solve ?iter_limit model =
+  Trace.in_span sp_solve @@ fun () ->
   let st = make model in
   let sol = cold_solve ?iter_limit st in
   (if sol.status = Optimal then

@@ -25,6 +25,18 @@ let t_sweep = Trace.timer "flexile.subproblem_sweep"
 let t_master = Trace.timer "flexile.master"
 let p_iteration = Trace.probe "flexile.iteration"
 
+(* Hierarchical spans (Trace.in_span): the offline phase's span tree is
+   offline > iteration[k] > {pruning, subproblem-sweep > scenario[i] >
+   simplex, cut-sharing, master}; worker-side scenario spans root under
+   parallel.shard on their own domain's track. *)
+let sp_offline = Trace.span "offline"
+let sp_iteration = Trace.span "offline.iteration"
+let sp_pruning = Trace.span "offline.pruning"
+let sp_sweep = Trace.span "offline.subproblem-sweep"
+let sp_scenario = Trace.span "offline.scenario"
+let sp_cut_sharing = Trace.span "offline.cut-sharing"
+let sp_master = Trace.span "offline.master"
+
 type config = {
   max_iterations : int;
   hamming_limit : int option;
@@ -568,6 +580,7 @@ let selfcheck_subproblems ?jobs inst =
 let achieved_penalty inst losses = Metrics.total_weighted_penalty inst losses
 
 let solve ?(config = default_config) inst =
+  Trace.in_span sp_offline @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let nf = Instance.nflows inst and nq = Instance.nscenarios inst in
   let scen_loss_opt =
@@ -629,6 +642,7 @@ let solve ?(config = default_config) inst =
      dual certificate; all bookkeeping mutation happens in the merge
      loop below, in ascending scenario order. *)
   let solve_scenario tpl sid =
+    Trace.in_span ~arg:sid sp_scenario @@ fun () ->
     let tpl_q =
       if has_demand_factors then
         build_template ~sid inst ~with_gamma:(config.gamma <> None)
@@ -685,10 +699,12 @@ let solve ?(config = default_config) inst =
   let iteration = ref 0 in
   let stop = ref false in
   while (not !stop) && !iteration < config.max_iterations do
+    Trace.in_span ~arg:!iteration sp_iteration @@ fun () ->
     (* --- subproblem sweep: domain-parallel over scenario shards --- *)
     duals_pool := [];
     let cols =
-      Array.init nq (fun sid -> Array.init nf (fun fid -> z.(fid).(sid)))
+      Trace.in_span sp_pruning (fun () ->
+          Array.init nq (fun sid -> Array.init nf (fun fid -> z.(fid).(sid))))
     in
     let keep sid =
       let unchanged =
@@ -702,9 +718,10 @@ let solve ?(config = default_config) inst =
     Trace.incr c_iters;
     Trace.event p_iteration !iteration;
     let results =
-      Trace.with_span t_sweep (fun () ->
-          Scenario_engine.sweep_some ~jobs:config.jobs inst ~keep
-            ~init:template_for ~f:solve_scenario)
+      Trace.in_span sp_sweep (fun () ->
+          Trace.with_span t_sweep (fun () ->
+              Scenario_engine.sweep_some ~jobs:config.jobs inst ~keep
+                ~init:template_for ~f:solve_scenario))
     in
     (* deterministic merge, ascending scenario order: losses, pruning
        state, the cut list and the shared-dual pool come out identical
@@ -737,18 +754,20 @@ let solve ?(config = default_config) inst =
       results;
     (* cut sharing: certificates from solved scenarios bound the rest *)
     if share_cuts then
-      List.iter
-        (fun di ->
-          for sid = 0 to nq - 1 do
-            if perfect.(sid) then ()
-            else begin
-              Trace.incr c_cuts_shared;
-              cuts :=
-                cut_for inst di ~target:sid ~scen_loss_opt ~gamma:config.gamma
-                :: !cuts
-            end
-          done)
-        !duals_pool;
+      Trace.in_span sp_cut_sharing (fun () ->
+          List.iter
+            (fun di ->
+              for sid = 0 to nq - 1 do
+                if perfect.(sid) then ()
+                else begin
+                  Trace.incr c_cuts_shared;
+                  cuts :=
+                    cut_for inst di ~target:sid ~scen_loss_opt
+                      ~gamma:config.gamma
+                    :: !cuts
+                end
+              done)
+            !duals_pool);
     lap (Printf.sprintf "iteration %d subproblem sweep" !iteration);
     let it = record !iteration in
     Log.info (fun m ->
@@ -774,9 +793,10 @@ let solve ?(config = default_config) inst =
       cuts := pruned_cuts;
       Trace.incr c_masters;
       match
-        Trace.with_span t_master (fun () ->
-            solve_master inst ~config ~cuts:pruned_cuts ~z_prev:z
-              ~coverage_target ~perfect)
+        Trace.in_span sp_master (fun () ->
+            Trace.with_span t_master (fun () ->
+                solve_master inst ~config ~cuts:pruned_cuts ~z_prev:z
+                  ~coverage_target ~perfect))
       with
       | None ->
           Log.warn (fun m -> m "master did not produce a solution; stopping");
@@ -838,11 +858,9 @@ let trace_summary () =
     ("master_seconds", Trace.timer_seconds_by_name "flexile.master");
   ]
 
+(* Full-registry dump: [report] carries every module's metrics
+   (Simplex, Parallel, Scenario_engine, per-scheme timers, GC
+   counters), not just this module's, and [span_tree] the hierarchical
+   profile. *)
 let trace_json () =
-  let derived =
-    trace_summary ()
-    |> List.map (fun (k, x) -> Printf.sprintf "%S: %.6g" k x)
-    |> String.concat ", "
-  in
-  Printf.sprintf "{\"derived\": {%s}, \"report\": %s}" derived
-    (Trace.to_json ())
+  Flexile_util.Trace_export.report_json ~derived:(trace_summary ()) ()

@@ -1,8 +1,20 @@
+module Trace = Flexile_util.Trace
+
+(* online > scenario[i] > {critical-alloc, maxmin-loss}: freezing the
+   critical flows at their offline loss, then the waterfilling LP for
+   the rest (§4.5).  Scenario spans run worker-side. *)
+let sp_online = Trace.span "online"
+let sp_scenario = Trace.span "online.scenario"
+let sp_critical = Trace.span "online.critical-alloc"
+let sp_maxmin = Trace.span "online.maxmin-loss"
+
 let allocate inst ~sid ~critical ~offline_loss =
+  Trace.in_span ~arg:sid sp_scenario @@ fun () ->
   let class_order =
     List.init (Array.length inst.Instance.classes) (fun k -> k)
   in
   let prefrozen =
+    Trace.in_span sp_critical @@ fun () ->
     Array.to_list inst.Instance.flows
     |> List.filter_map (fun (f : Instance.flow) ->
            let fid = f.Instance.fid in
@@ -12,9 +24,11 @@ let allocate inst ~sid ~critical ~offline_loss =
              Some (fid, Float.min 1. (offline_loss fid +. 1e-7))
            else None)
   in
-  Scen_lp.maxmin_losses inst ~sid ~class_order ~prefrozen ()
+  Trace.in_span sp_maxmin (fun () ->
+      Scen_lp.maxmin_losses inst ~sid ~class_order ~prefrozen ())
 
 let run ?jobs inst ~offline =
+  Trace.in_span sp_online @@ fun () ->
   let best = offline.Flexile_offline.best in
   Scenario_engine.sweep_losses ?jobs inst ~f:(fun sid ->
       allocate inst ~sid

@@ -5,11 +5,14 @@ let default_jobs = Parallel.default_jobs
 let c_sweeps = Trace.counter "engine.sweeps"
 let c_scenarios = Trace.counter "engine.scenarios"
 let c_kept = Trace.counter "engine.scenarios_kept"
+let sp_sweep = Trace.span "engine.sweep"
+let sp_merge = Trace.span "engine.merge"
 
 let sweep ?jobs inst ~init ~f =
   Trace.incr c_sweeps;
   Trace.add c_scenarios (Instance.nscenarios inst);
-  Parallel.map ?jobs ~n:(Instance.nscenarios inst) ~init ~f ()
+  Trace.in_span ~arg:(Instance.nscenarios inst) sp_sweep (fun () ->
+      Parallel.map ?jobs ~n:(Instance.nscenarios inst) ~init ~f ())
 
 let sweep_some ?jobs inst ~keep ~init ~f =
   let nq = Instance.nscenarios inst in
@@ -17,12 +20,14 @@ let sweep_some ?jobs inst ~keep ~init ~f =
   Trace.incr c_sweeps;
   Trace.add c_scenarios nq;
   Array.iter (fun k -> if k then Trace.incr c_kept) kept;
-  Parallel.map ?jobs ~n:nq ~init
-    ~f:(fun st sid -> if kept.(sid) then Some (f st sid) else None)
-    ()
+  Trace.in_span ~arg:nq sp_sweep (fun () ->
+      Parallel.map ?jobs ~n:nq ~init
+        ~f:(fun st sid -> if kept.(sid) then Some (f st sid) else None)
+        ())
 
 let sweep_losses ?jobs inst ~f =
   let per_sid = sweep ?jobs inst ~init:(fun _ -> ()) ~f:(fun () sid -> f sid) in
+  Trace.in_span sp_merge @@ fun () ->
   let losses = Instance.alloc_losses inst in
   Array.iteri
     (fun sid results ->

@@ -5,6 +5,7 @@ let max_jobs = 64
 let c_maps = Trace.counter "parallel.maps"
 let t_busy = Trace.timer "parallel.worker_busy"
 let g_imbalance = Trace.gauge "parallel.imbalance_permille"
+let sp_shard = Trace.span "parallel.shard"
 
 let env_jobs () =
   match Sys.getenv_opt "FLEXILE_JOBS" with
@@ -202,9 +203,10 @@ let parallel_map pool ~n ~init ~f =
     else fun w ->
       (* worker slot [w] runs in exactly one domain per map, so the
          slot write is unshared and the trace span lands in the
-         worker's own domain state *)
+         worker's own domain state.  The shard span also roots the
+         hierarchical spans the task opens on this domain. *)
       let t0 = Trace.now_ns () in
-      task w;
+      Trace.in_span ~arg:w sp_shard (fun () -> task w);
       let dt = Int64.sub (Trace.now_ns ()) t0 in
       busy.(w) <- dt;
       Trace.add_ns t_busy dt

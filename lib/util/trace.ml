@@ -30,7 +30,7 @@ let env_disabled () = env_setting = Some false
 (* Name registry                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type kind = K_counter | K_gauge | K_timer | K_probe
+type kind = K_counter | K_gauge | K_timer | K_probe | K_span
 
 let reg_m = Mutex.create ()
 let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 64
@@ -65,6 +65,36 @@ let lookup name =
 
 let ring_capacity = 4096
 
+(* Hierarchical-span bookkeeping.  Each domain keeps a stack of open
+   frames; closing a frame appends one completed record.  Records are
+   linked to their parent by the parent's per-domain begin sequence, so
+   sorting a domain's records by [rseq] yields a pre-order traversal of
+   its span forest. *)
+let span_capacity = 65536
+
+type frame = {
+  fr_id : int;  (* registered span id *)
+  fr_arg : int;
+  fr_seq : int;  (* per-domain begin sequence *)
+  fr_parent : int;  (* parent's begin seq, -1 for roots *)
+  fr_depth : int;
+  fr_t0 : int64;
+  fr_minor : float;  (* Gc.quick_stat words at entry *)
+  fr_major : float;
+}
+
+type raw_span = {
+  rid : int;
+  rarg : int;
+  rseq : int;
+  rparent : int;
+  rdepth : int;
+  rt0 : int64;
+  rt1 : int64;
+  rminor : float;  (* words allocated during the span, this domain *)
+  rmajor : float;
+}
+
 type dom_state = {
   dom : int;
   mutable ints : int array;  (* counter sums / gauge maxima, by id *)
@@ -74,6 +104,11 @@ type dom_state = {
   ev_arg : int array;
   ev_ns : int64 array;
   mutable ev_seq : int;  (* total events ever emitted by this domain *)
+  mutable sp_stack : frame list;  (* open spans, innermost first *)
+  mutable sp_seq : int;  (* begin sequences handed out *)
+  mutable sp_records : raw_span list;  (* completed, newest first *)
+  mutable sp_count : int;
+  mutable sp_dropped : int;
 }
 
 let states_m = Mutex.create ()
@@ -90,6 +125,11 @@ let new_state () =
       ev_arg = Array.make ring_capacity 0;
       ev_ns = Array.make ring_capacity 0L;
       ev_seq = 0;
+      sp_stack = [];
+      sp_seq = 0;
+      sp_records = [];
+      sp_count = 0;
+      sp_dropped = 0;
     }
   in
   Mutex.lock states_m;
@@ -260,6 +300,190 @@ let events_dropped () =
     0 (snapshot_states ())
 
 (* ------------------------------------------------------------------ *)
+(* Hierarchical spans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type span = int
+
+let span name = register name K_span
+
+let span_begin ?(arg = 0) sp =
+  if !enabled_flag then begin
+    let st = my_state () in
+    (* Gc.minor_words reads the live allocation pointer; quick_stat's
+       minor_words only advances at minor-collection boundaries, so a
+       short span would always see a zero delta through it. *)
+    let minor = Gc.minor_words () in
+    let g = Gc.quick_stat () in
+    let parent, depth =
+      match st.sp_stack with
+      | [] -> (-1, 0)
+      | f :: _ -> (f.fr_seq, f.fr_depth + 1)
+    in
+    let seq = st.sp_seq in
+    st.sp_seq <- seq + 1;
+    st.sp_stack <-
+      {
+        fr_id = sp;
+        fr_arg = arg;
+        fr_seq = seq;
+        fr_parent = parent;
+        fr_depth = depth;
+        fr_t0 = now_ns ();
+        fr_minor = minor;
+        fr_major = g.Gc.major_words;
+      }
+      :: st.sp_stack
+  end
+
+(* Ends the innermost open span of the calling domain; the handle is
+   only documentation (begin/end pairs must nest, which the profiler
+   tests assert).  Always pops when a frame is open, even if tracing
+   was toggled mid-span, so the stack can never wedge. *)
+let span_end _sp =
+  let st = my_state () in
+  match st.sp_stack with
+  | [] -> ()
+  | f :: rest ->
+      st.sp_stack <- rest;
+      let t1 = now_ns () in
+      let minor = Gc.minor_words () in
+      let g = Gc.quick_stat () in
+      (* spans double as timers: totals by name come for free *)
+      ensure_timers st f.fr_id;
+      st.ns.(f.fr_id) <- Int64.add st.ns.(f.fr_id) (Int64.sub t1 f.fr_t0);
+      st.spans.(f.fr_id) <- st.spans.(f.fr_id) + 1;
+      if st.sp_count >= span_capacity then st.sp_dropped <- st.sp_dropped + 1
+      else begin
+        st.sp_count <- st.sp_count + 1;
+        st.sp_records <-
+          {
+            rid = f.fr_id;
+            rarg = f.fr_arg;
+            rseq = f.fr_seq;
+            rparent = f.fr_parent;
+            rdepth = f.fr_depth;
+            rt0 = f.fr_t0;
+            rt1 = t1;
+            rminor = minor -. f.fr_minor;
+            rmajor = g.Gc.major_words -. f.fr_major;
+          }
+          :: st.sp_records
+      end
+
+let in_span ?(arg = 0) sp f =
+  if not !enabled_flag then f ()
+  else begin
+    span_begin ~arg sp;
+    match f () with
+    | v ->
+        span_end sp;
+        v
+    | exception e ->
+        span_end sp;
+        raise e
+  end
+
+type span_record = {
+  span_name : string;
+  span_arg : int;
+  span_dom : int;
+  span_seq : int;
+  span_parent : int;
+  span_depth : int;
+  span_t0_ns : int64;
+  span_t1_ns : int64;
+  span_minor_words : float;
+  span_major_words : float;
+}
+
+let span_records () =
+  snapshot_states ()
+  |> List.concat_map (fun (st : dom_state) ->
+         (* newest-first storage, so reversing sorts by begin seq *)
+         List.rev_map
+           (fun r ->
+             {
+               span_name = name_of r.rid;
+               span_arg = r.rarg;
+               span_dom = st.dom;
+               span_seq = r.rseq;
+               span_parent = r.rparent;
+               span_depth = r.rdepth;
+               span_t0_ns = r.rt0;
+               span_t1_ns = r.rt1;
+               span_minor_words = r.rminor;
+               span_major_words = r.rmajor;
+             })
+           st.sp_records)
+
+let spans_logged () =
+  List.fold_left
+    (fun acc st -> acc + st.sp_count + st.sp_dropped)
+    0 (snapshot_states ())
+
+let spans_dropped () =
+  List.fold_left (fun acc st -> acc + st.sp_dropped) 0 (snapshot_states ())
+
+let spans_open () =
+  List.fold_left
+    (fun acc st -> acc + List.length st.sp_stack)
+    0 (snapshot_states ())
+
+type span_tree = {
+  node_name : string;
+  node_arg : int;
+  node_dom : int;
+  node_t0_ns : int64;
+  node_t1_ns : int64;
+  node_minor_words : float;
+  node_major_words : float;
+  node_children : span_tree list;
+}
+
+let span_trees () =
+  let records = span_records () in
+  (* per (dom, parent-seq) child lists; records arrive sorted by
+     (dom, seq), i.e. pre-order, so each list stays in begin order *)
+  let children : (int * int, span_record list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let bucket dom parent =
+    match Hashtbl.find_opt children (dom, parent) with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add children (dom, parent) l;
+        l
+  in
+  List.iter
+    (fun r ->
+      let l = bucket r.span_dom r.span_parent in
+      l := r :: !l)
+    records;
+  let rec build (r : span_record) =
+    let kids =
+      match Hashtbl.find_opt children (r.span_dom, r.span_seq) with
+      | None -> []
+      | Some l -> List.rev_map build !l  (* prepended, so rev = begin order *)
+    in
+    {
+      node_name = r.span_name;
+      node_arg = r.span_arg;
+      node_dom = r.span_dom;
+      node_t0_ns = r.span_t0_ns;
+      node_t1_ns = r.span_t1_ns;
+      node_minor_words = r.span_minor_words;
+      node_major_words = r.span_major_words;
+      node_children = kids;
+    }
+  in
+  (* roots: parent -1, already (dom, seq)-ordered.  A record whose
+     parent was dropped by the capacity cap is orphaned and omitted
+     rather than misattached. *)
+  List.filter (fun r -> r.span_parent = -1) records |> List.map build
+
+(* ------------------------------------------------------------------ *)
 (* Aggregated reads, reset, JSON                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -281,7 +505,12 @@ let reset () =
       Array.fill st.ints 0 (Array.length st.ints) 0;
       Array.fill st.ns 0 (Array.length st.ns) 0L;
       Array.fill st.spans 0 (Array.length st.spans) 0;
-      st.ev_seq <- 0)
+      st.ev_seq <- 0;
+      st.sp_stack <- [];
+      st.sp_seq <- 0;
+      st.sp_records <- [];
+      st.sp_count <- 0;
+      st.sp_dropped <- 0)
     (snapshot_states ())
 
 let json_escape s =
@@ -329,6 +558,12 @@ let to_json () =
   obj "timers" K_timer (fun id ->
       Printf.bprintf b "{\"seconds\":%.6f,\"count\":%d}" (timer_seconds id)
         (timer_count id));
-  Printf.bprintf b ",\"events\":{\"logged\":%d,\"dropped\":%d}}"
-    (events_logged ()) (events_dropped ());
+  Buffer.add_char b ',';
+  (* spans reuse the timer accumulators, so totals by name are free *)
+  obj "spans" K_span (fun id ->
+      Printf.bprintf b "{\"seconds\":%.6f,\"count\":%d}" (timer_seconds id)
+        (timer_count id));
+  Printf.bprintf b
+    ",\"span_records\":{\"logged\":%d,\"dropped\":%d},\"events\":{\"logged\":%d,\"dropped\":%d}}"
+    (spans_logged ()) (spans_dropped ()) (events_logged ()) (events_dropped ());
   Buffer.contents b

@@ -109,6 +109,79 @@ val events : unit -> event_record list
 val events_logged : unit -> int
 val events_dropped : unit -> int
 
+(** {1 Hierarchical spans}
+
+    Where timers only accumulate totals, spans additionally record the
+    {e shape} of the computation: each domain keeps a stack of open
+    spans, and closing one appends a record carrying its begin/end
+    timestamps, its parent (by per-domain begin sequence), its nesting
+    depth, and the words allocated while it was open
+    ([Gc.quick_stat] deltas, minor and major, for the recording
+    domain).  Per-domain records are capped at 65536; further spans
+    still accumulate into the by-name totals but are counted as
+    dropped rather than stored.
+
+    The merged record list is ordered by [(domain id, begin seq)] —
+    a pre-order traversal of each domain's span forest — and is what
+    the Chrome trace-event exporter ({!Trace_export}) serializes, one
+    track per domain. *)
+
+type span
+
+val span : string -> span
+
+val in_span : ?arg:int -> span -> (unit -> 'a) -> 'a
+(** Run the thunk inside a new span (child of the calling domain's
+    innermost open span).  Records on exit, exceptions included; a
+    single branch when disabled.  [arg] tags the record (iteration
+    number, scenario id, worker slot, ...). *)
+
+val span_begin : ?arg:int -> span -> unit
+val span_end : span -> unit
+(** Explicit bracket for call sites that cannot wrap a closure.
+    [span_end] closes the calling domain's {e innermost} open span —
+    begin/end pairs must nest properly, which the profiler tests
+    assert. *)
+
+type span_record = {
+  span_name : string;
+  span_arg : int;
+  span_dom : int;  (** id of the recording domain *)
+  span_seq : int;  (** per-domain begin sequence *)
+  span_parent : int;  (** parent's begin seq within the domain, -1 = root *)
+  span_depth : int;  (** nesting depth at begin, 0 = root *)
+  span_t0_ns : int64;
+  span_t1_ns : int64;
+  span_minor_words : float;  (** words allocated in the minor heap *)
+  span_major_words : float;
+}
+
+val span_records : unit -> span_record list
+(** Completed spans, ordered by [(dom, seq)].  Quiescent-point read. *)
+
+type span_tree = {
+  node_name : string;
+  node_arg : int;
+  node_dom : int;
+  node_t0_ns : int64;
+  node_t1_ns : int64;
+  node_minor_words : float;
+  node_major_words : float;
+  node_children : span_tree list;  (** in begin order *)
+}
+
+val span_trees : unit -> span_tree list
+(** The span forest: roots ordered by [(dom, seq)], children in begin
+    order.  Spans whose parent record was dropped by the capacity cap
+    are omitted rather than misattached. *)
+
+val spans_logged : unit -> int
+val spans_dropped : unit -> int
+
+val spans_open : unit -> int
+(** Spans begun but not yet ended, over all domains.  [0] at any
+    quiescent point — the balance invariant the tests check. *)
+
 (** {1 Aggregated reads and reporting} *)
 
 val value_by_name : string -> int
@@ -125,5 +198,8 @@ val to_json : unit -> string
 (** One-line JSON object:
     [{"enabled":bool,"counters":{..},"gauges":{..},
       "timers":{name:{"seconds":s,"count":n},..},
+      "spans":{name:{"seconds":s,"count":n},..},
+      "span_records":{"logged":n,"dropped":n},
       "events":{"logged":n,"dropped":n}}]
-    with keys sorted by name. *)
+    with keys sorted by name — the {e full} metric registry, every
+    module's counters included. *)

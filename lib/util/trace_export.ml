@@ -1,0 +1,157 @@
+(* Serializers over Trace's quiescent-point reads: the structured
+   report (full metric registry + span tree) that `flexile --trace`
+   and `bench --json` write, and the Chrome trace-event document
+   (`--trace-chrome` / `bench --chrome`) loadable in Perfetto or
+   chrome://tracing. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Structured report                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec bprint_tree b (t : Trace.span_tree) =
+  Printf.bprintf b
+    "{\"name\":\"%s\",\"arg\":%d,\"dom\":%d,\"t0_ns\":%Ld,\"dur_ns\":%Ld,\"minor_words\":%.0f,\"major_words\":%.0f,\"children\":["
+    (json_escape t.Trace.node_name)
+    t.Trace.node_arg t.Trace.node_dom t.Trace.node_t0_ns
+    (Int64.sub t.Trace.node_t1_ns t.Trace.node_t0_ns)
+    t.Trace.node_minor_words t.Trace.node_major_words;
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      bprint_tree b c)
+    t.Trace.node_children;
+  Buffer.add_string b "]}"
+
+let span_tree_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char b ',';
+      bprint_tree b t)
+    (Trace.span_trees ());
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+let report_json ?(derived = []) () =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\"derived\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\": %.6g" (json_escape k) v)
+    derived;
+  (* [report] is the full registry — every module's counters, gauges,
+     timers and span totals, not just the offline solver's *)
+  Printf.bprintf b "},\"report\":%s,\"span_tree\":%s}" (Trace.to_json ())
+    (span_tree_json ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event format                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON-object-format document: complete (`X`) events for spans on
+   a per-domain track, instant (`i`) events for probes, and one final
+   counter (`C`) sample per counter/gauge.  Timestamps are microseconds
+   relative to the earliest recorded instant, as the format requires. *)
+let chrome_json () =
+  let spans = Trace.span_records () in
+  let events = Trace.events () in
+  let t_min =
+    List.fold_left
+      (fun acc (r : Trace.span_record) -> min acc r.Trace.span_t0_ns)
+      Int64.max_int spans
+    |> fun acc ->
+    List.fold_left
+      (fun acc (e : Trace.event_record) -> min acc e.Trace.t_ns)
+      acc events
+  in
+  let t_min = if t_min = Int64.max_int then 0L else t_min in
+  let us t = Int64.to_float (Int64.sub t t_min) /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit fmt =
+    if !first then first := false else Buffer.add_char b ',';
+    Printf.bprintf b fmt
+  in
+  emit
+    "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"flexile\"}}";
+  let doms =
+    List.sort_uniq compare
+      (List.map (fun (r : Trace.span_record) -> r.Trace.span_dom) spans
+      @ List.map (fun (e : Trace.event_record) -> e.Trace.dom) events)
+  in
+  List.iter
+    (fun d ->
+      emit
+        "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+        d d)
+    doms;
+  List.iter
+    (fun (r : Trace.span_record) ->
+      emit
+        "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"span\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"arg\":%d,\"depth\":%d,\"minor_words\":%.0f,\"major_words\":%.0f}}"
+        (json_escape r.Trace.span_name)
+        r.Trace.span_dom (us r.Trace.span_t0_ns)
+        (Int64.to_float (Int64.sub r.Trace.span_t1_ns r.Trace.span_t0_ns)
+        /. 1e3)
+        r.Trace.span_arg r.Trace.span_depth r.Trace.span_minor_words
+        r.Trace.span_major_words)
+    spans;
+  List.iter
+    (fun (e : Trace.event_record) ->
+      emit
+        "{\"ph\":\"i\",\"name\":\"%s\",\"cat\":\"probe\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"arg\":%d}}"
+        (json_escape e.Trace.name) e.Trace.dom (us e.Trace.t_ns) e.Trace.arg)
+    events;
+  (* final counter samples: Trace aggregates totals, not series, so a
+     single C event at the trace's end still surfaces every counter and
+     gauge in Perfetto's counter tracks *)
+  let t_end =
+    List.fold_left
+      (fun acc (r : Trace.span_record) -> max acc (us r.Trace.span_t1_ns))
+      0. spans
+  in
+  (match Json.parse (Trace.to_json ()) with
+  | Error _ -> ()
+  | Ok report ->
+      let sample section =
+        match Json.member section report with
+        | Some (Json.Object fields) ->
+            List.iter
+              (fun (name, v) ->
+                match Json.to_float v with
+                | Some x ->
+                    emit
+                      "{\"ph\":\"C\",\"name\":\"%s\",\"pid\":0,\"tid\":0,\"ts\":%.3f,\"args\":{\"value\":%.0f}}"
+                      (json_escape name) t_end x
+                | None -> ())
+              fields
+        | _ -> ()
+      in
+      sample "counters";
+      sample "gauges");
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc

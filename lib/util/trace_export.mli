@@ -1,0 +1,26 @@
+(** Serializers over {!Trace}'s quiescent-point reads. *)
+
+val report_json : ?derived:(string * float) list -> unit -> string
+(** The structured report written by [flexile --trace] and embedded by
+    [bench --json]:
+    [{"derived":{..}, "report":<full registry>, "span_tree":[..]}].
+    [report] is {!Trace.to_json} — {e every} registered counter, gauge,
+    timer and span total, across all instrumented modules; [derived]
+    carries caller-computed summary ratios; [span_tree] is the nested
+    span forest ([{"name","arg","dom","t0_ns","dur_ns","minor_words",
+    "major_words","children":[..]}]). *)
+
+val span_tree_json : unit -> string
+(** Just the [span_tree] array. *)
+
+val chrome_json : unit -> string
+(** Chrome trace-event JSON (object format), loadable in Perfetto /
+    chrome://tracing: one track per domain, complete [X] events for
+    spans (args carry the span tag, depth and GC allocation deltas),
+    instant [i] events for probes, and one final [C] sample per
+    counter/gauge.  Timestamps are microseconds relative to the
+    earliest recorded instant. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] writes [contents] plus a trailing
+    newline. *)
