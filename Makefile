@@ -1,4 +1,4 @@
-.PHONY: all build test bench verify baseline clean
+.PHONY: all build test bench lint verify baseline clean
 
 all: build
 
@@ -11,16 +11,26 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# flexile-lint: AST-level determinism/concurrency/hygiene invariants
+# (DESIGN.md section 9).  Writes a machine-readable summary to
+# lint-summary.json (uploaded as a CI artifact on failure) and exits
+# non-zero on any unsuppressed finding.
+lint:
+	dune build tools/lint/lint_main.exe
+	dune exec --no-build tools/lint/lint_main.exe -- \
+	  --json lint-summary.json lib bin bench test
+
 # Relative headroom for the benchmark regression gate.  50% absorbs
 # ordinary same-machine jitter; CI overrides this upward because the
 # committed baseline was recorded on a different machine.
 BENCH_TOLERANCE ?= 50
 
-# Tier-1 verification: full build, the test suite, a smoke run of the
-# micro-benchmarks (exercises the parallel sweep at jobs 1 and 4), and
-# the regression gate against the committed baseline.
+# Tier-1 verification: full build, the linter, the test suite, a smoke
+# run of the micro-benchmarks (exercises the parallel sweep at jobs 1
+# and 4), and the regression gate against the committed baseline.
 verify:
 	dune build
+	$(MAKE) lint
 	dune runtest
 	dune exec bench/main.exe -- --micro
 	dune exec bench/main.exe -- --gate --repeat 3 --jobs 2 \

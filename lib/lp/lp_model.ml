@@ -1,3 +1,6 @@
+module Tbl = Flexile_util.Tbl
+module Float_cmp = Flexile_util.Float_cmp
+
 type sense = Le | Ge | Eq
 
 type var = int
@@ -106,9 +109,9 @@ let add_row t ?(name = "") sense rhs coeffs =
       Hashtbl.replace tbl v (prev +. c))
     coeffs;
   let pairs =
-    Hashtbl.fold (fun v c acc -> if c = 0. then acc else (v, c) :: acc) tbl []
+    Tbl.sorted_bindings tbl
+    |> List.filter (fun (_, c) -> Float_cmp.nonzero c)
   in
-  let pairs = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
   let k = List.length pairs in
   let cols = Array.make k 0 and vals = Array.make k 0. in
   List.iteri

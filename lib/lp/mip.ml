@@ -1,3 +1,5 @@
+module Trace = Flexile_util.Trace
+
 type status = Optimal | Feasible | Infeasible | Limit
 
 type result = {
@@ -54,7 +56,7 @@ let solve ?(options = default_options) ?heuristic ~binaries model =
       (fun (j, lb, ub) -> Lp_model.set_bounds model j ~lb ~ub)
       saved_bounds
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Trace.now_s () in
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
   let nodes = ref 0 in
@@ -97,7 +99,7 @@ let solve ?(options = default_options) ?heuristic ~binaries model =
              stack := nd :: !stack;
              raise Exit
            end;
-           if Unix.gettimeofday () -. t0 > options.time_limit then begin
+           if Trace.now_s () -. t0 > options.time_limit then begin
              hit_limit := true;
              stack := nd :: !stack;
              raise Exit

@@ -23,6 +23,7 @@ let src = Logs.Src.create "flexile.lp" ~doc:"LP solver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Trace = Flexile_util.Trace
+module Float_cmp = Flexile_util.Float_cmp
 
 (* Probes are per-solve, never per-pivot: with tracing disabled each
    costs one branch, with it enabled one domain-local array write. *)
@@ -150,7 +151,7 @@ let btran st costs y =
   Array.fill y 0 st.m 0.;
   for k = 0 to st.m - 1 do
     let c = costs.(st.bas.(k)) in
-    if c <> 0. then begin
+    if Float_cmp.nonzero c then begin
       let bk = st.binv.(k) in
       for i = 0 to st.m - 1 do
         y.(i) <- y.(i) +. (c *. bk.(i))
@@ -163,7 +164,7 @@ let btran st costs y =
 let recompute_xb st =
   let bt = Array.copy st.b in
   for j = 0 to st.ntot - 1 do
-    if st.vstat.(j) <> basic && st.xn.(j) <> 0. then
+    if st.vstat.(j) <> basic && Float_cmp.nonzero st.xn.(j) then
       col_iter st j (fun i a -> bt.(i) <- bt.(i) -. (a *. st.xn.(j)))
   done;
   for i = 0 to st.m - 1 do
@@ -207,7 +208,7 @@ let refactorize st =
       ic.(k) <- ic.(k) /. p
     done;
     for r = 0 to m - 1 do
-      if r <> c && a.(r).(c) <> 0. then begin
+      if r <> c && Float_cmp.nonzero a.(r).(c) then begin
         let f = a.(r).(c) in
         let ar = a.(r) and ir = inv.(r) in
         for k = 0 to m - 1 do
@@ -232,7 +233,7 @@ let update_binv st r w =
     br.(k) <- br.(k) /. piv
   done;
   for i = 0 to m - 1 do
-    if i <> r && w.(i) <> 0. then begin
+    if i <> r && Float_cmp.nonzero w.(i) then begin
       let f = w.(i) and bi = st.binv.(i) in
       for k = 0 to m - 1 do
         bi.(k) <- bi.(k) -. (f *. br.(k))
@@ -402,7 +403,7 @@ let primal_loop st costs ~iter_limit iter_count =
           st.bas.(r) <- j;
           st.vstat.(j) <- basic;
           st.xb.(r) <- entering_value;
-          if theta <> 0. then
+          if Float_cmp.nonzero theta then
             for k = 0 to st.ntot - 1 do
               if st.vstat.(k) <> basic && k <> q then
                 d.(k) <- d.(k) -. (theta *. col_dot st rho k)
@@ -500,7 +501,7 @@ let phase1_obj st costs =
   let s = ref 0. in
   for i = 0 to st.m - 1 do
     let c = costs.(st.bas.(i)) in
-    if c <> 0. then s := !s +. (c *. st.xb.(i))
+    if Float_cmp.nonzero c then s := !s +. (c *. st.xb.(i))
   done;
   !s
 
@@ -520,7 +521,7 @@ let extract_solution st ~status ~iterations =
   for j = 0 to n - 1 do
     let d = st.cost.(j) -. col_dot st y j in
     reduced.(j) <- d;
-    if st.vstat.(j) <> basic && st.xn.(j) <> 0. then
+    if st.vstat.(j) <> basic && Float_cmp.nonzero st.xn.(j) then
       bound_term := !bound_term +. (d *. st.xn.(j))
   done;
   let obj = ref 0. in
@@ -701,7 +702,7 @@ let dual_loop st ~iter_limit iters =
           st.xb.(r) <- st.xn.(j) +. delta;
           (* update duals: d'_k = d_k - (d_j/alpha_j) * alpha_k *)
           let theta = d.(j) /. alpha_j in
-          if theta <> 0. then begin
+          if Float_cmp.nonzero theta then begin
             for k = 0 to st.ntot - 1 do
               if st.vstat.(k) <> basic then begin
                 let alpha_k = col_dot st rho k in

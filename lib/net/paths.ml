@@ -102,7 +102,7 @@ let shortest g ?(weight = fun _ -> 1.) ?(edge_ok = fun _ -> true)
               end)
             g.Graph.adj.(x)
   done;
-  if dist.(dst) = infinity then None
+  if Flexile_util.Float_cmp.exactly_equal dist.(dst) infinity then None
   else begin
     let rev = ref [] in
     let cur = ref dst in

@@ -581,7 +581,7 @@ let achieved_penalty inst losses = Metrics.total_weighted_penalty inst losses
 
 let solve ?(config = default_config) inst =
   Trace.in_span sp_offline @@ fun () ->
-  let t0 = Unix.gettimeofday () in
+  let t0 = Trace.now_s () in
   let nf = Instance.nflows inst and nq = Instance.nscenarios inst in
   let scen_loss_opt =
     match config.gamma with
@@ -677,9 +677,9 @@ let solve ?(config = default_config) inst =
     | _ -> None
   in
   let iterates = ref [] in
-  let stopwatch = ref (Unix.gettimeofday ()) in
+  let stopwatch = ref (Trace.now_s ()) in
   let lap what =
-    let now = Unix.gettimeofday () in
+    let now = Trace.now_s () in
     Log.info (fun m -> m "%s took %.2fs" what (now -. !stopwatch));
     stopwatch := now
   in
@@ -830,7 +830,7 @@ let solve ?(config = default_config) inst =
     best;
     lower_bound = !master_bound;
     subproblems_solved = !subproblems;
-    wall_time = Unix.gettimeofday () -. t0;
+    wall_time = Trace.now_s () -. t0;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -2,6 +2,7 @@ module Lp_model = Flexile_lp.Lp_model
 module Mip = Flexile_lp.Mip
 module Graph = Flexile_net.Graph
 module Failure_model = Flexile_failure.Failure_model
+module Trace = Flexile_util.Trace
 
 type result = {
   losses : Instance.losses;
@@ -13,7 +14,7 @@ type result = {
 
 let solve ?(options = { Flexile_lp.Mip.default_options with node_limit = 2000; time_limit = 3600. })
     ?jobs inst =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Trace.now_s () in
   let g = inst.Instance.graph in
   let nk = Array.length inst.Instance.classes in
   let np = Array.length inst.Instance.pairs in
@@ -141,5 +142,5 @@ let solve ?(options = { Flexile_lp.Mip.default_options with node_limit = 2000; t
       | _ -> infinity);
     bound = r.Mip.bound;
     optimal = r.Mip.status = Mip.Optimal;
-    wall_time = Unix.gettimeofday () -. t0;
+    wall_time = Trace.now_s () -. t0;
   }

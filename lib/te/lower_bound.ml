@@ -1,6 +1,7 @@
 module Lp_model = Flexile_lp.Lp_model
 module Simplex = Flexile_lp.Simplex
 module Graph = Flexile_net.Graph
+module Tbl = Flexile_util.Tbl
 
 (* Maximum volume a single flow can push over a subset of its tunnels
    (each a fixed path) subject to edge capacities: a tiny LP per
@@ -22,7 +23,9 @@ let max_alone inst (f : Instance.flow) sid =
             Hashtbl.replace per_edge e ((vars.(idx), 1.) :: prev))
           t.Flexile_net.Tunnels.path)
       alive;
-    Hashtbl.iter
+    (* Sorted edge order: the capacity rows land in the LP in a fixed
+       sequence, so degenerate pivots cannot depend on bucket layout. *)
+    Tbl.sorted_iter
       (fun e coeffs ->
         ignore
           (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity

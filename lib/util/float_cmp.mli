@@ -1,0 +1,33 @@
+(** Explicit float comparisons.
+
+    Polymorphic [=] / [<>] on floats is banned in [lib/] by
+    [flexile-lint] (rule [d2-float-eq]): a stray exact comparison in a
+    tolerance path silently breaks the bit-identical-at-any-[--jobs]
+    guarantee when a rounding mode or evaluation order changes.  Every
+    float comparison must go through this module, which makes the
+    intent — tolerance or deliberate exact IEEE equality — explicit at
+    the call site. *)
+
+val default_eps : float
+(** [1e-9]; absolute tolerance used when [?eps] is omitted. *)
+
+val eq : ?eps:float -> float -> float -> bool
+(** [eq a b] is [|a - b| <= eps].  False if either argument is NaN. *)
+
+val neq : ?eps:float -> float -> float -> bool
+(** [not (eq ?eps a b)]. *)
+
+val zero : ?eps:float -> float -> bool
+(** [zero x] is [|x| <= eps].  False for NaN. *)
+
+val exactly_zero : float -> bool
+(** Exact IEEE [x = 0.] (true for [-0.]).  For sparsity tests where a
+    value is zero only if it was never touched — not a tolerance. *)
+
+val nonzero : float -> bool
+(** [not (exactly_zero x)].  Note: true for NaN, like [x <> 0.]. *)
+
+val exactly_equal : float -> float -> bool
+(** Exact IEEE [a = b] ([nan] equals nothing, [0. = -0.]).  For
+    comparing values that must be bit-for-bit reproductions of each
+    other, e.g. differential parallel-vs-sequential checks. *)

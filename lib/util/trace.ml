@@ -215,6 +215,7 @@ type timer = int
 
 let timer name = register name K_timer
 let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
 
 let add_ns t dns =
   if !enabled_flag then begin

@@ -77,6 +77,12 @@ val now_ns : unit -> int64
 (** Monotonic clock ([CLOCK_MONOTONIC]), nanoseconds.  For callers
     measuring sections that cannot be wrapped in a closure. *)
 
+val now_s : unit -> float
+(** [now_ns] scaled to seconds.  This is the only sanctioned wall-clock
+    source in [lib/] ([flexile-lint] rule [d1-nondet] bans
+    [Unix.gettimeofday] / [Sys.time] there): elapsed-time results stay
+    comparable and immune to system clock steps. *)
+
 val timer_ns : timer -> int64
 val timer_seconds : timer -> float
 val timer_count : timer -> int

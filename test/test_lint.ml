@@ -1,0 +1,320 @@
+(* flexile-lint engine tests: one positive (flagged) and one negative
+   (clean) fixture per rule id, suppression via [@lint.allow], config
+   allowlisting, zone gating, and the JSON summary shape. *)
+
+module E = Flexile_lint.Lint_engine
+module Json = Flexile_util.Json
+
+(* Lint an inline fixture as if it lived at [file]. *)
+let lint ?(file = "lib/fixture.ml") src = E.check_source ~file src
+
+let rules_hit r = List.map (fun f -> f.E.rule) r.E.findings
+
+let check_rules name expected r =
+  Alcotest.(check (list string)) name expected (rules_hit r)
+
+(* ------------------------------------------------------------------ *)
+(* d1-nondet                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let d1_positive () =
+  check_rules "Random" [ "d1-nondet" ] (lint {|let f () = Random.int 5|});
+  check_rules "gettimeofday" [ "d1-nondet" ]
+    (lint {|let f () = Unix.gettimeofday ()|});
+  check_rules "Sys.time" [ "d1-nondet" ] (lint {|let f () = Sys.time ()|});
+  check_rules "Hashtbl.hash" [ "d1-nondet" ]
+    (lint {|let f x = Hashtbl.hash x|});
+  check_rules "random table" [ "d1-nondet" ]
+    (lint {|let f () = Hashtbl.create ~random:true 16|})
+
+let d1_negative () =
+  check_rules "Prng is fine" []
+    (lint {|let f rng = Flexile_util.Prng.int rng 5|});
+  check_rules "trace clock is fine" []
+    (lint {|let f () = Flexile_util.Trace.now_s ()|});
+  check_rules "~random:false is fine" []
+    (lint {|let f () = Hashtbl.create ~random:false 16|})
+
+let d1_config_allow () =
+  (* lib/util/prng.ml is the sanctioned randomness source *)
+  let r = lint ~file:"lib/util/prng.ml" {|let f () = Random.int 5|} in
+  check_rules "allowlisted file" [] r;
+  Alcotest.(check int) "counted as config-allowed" 1 r.E.config_suppressed
+
+let d1_zone_gate () =
+  (* d1 only applies to lib/: the bench driver may read the wall clock *)
+  check_rules "bench exempt" []
+    (lint ~file:"bench/main.ml" {|let f () = Unix.gettimeofday ()|})
+
+(* ------------------------------------------------------------------ *)
+(* d2-float-eq                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let d2_positive () =
+  check_rules "float literal =" [ "d2-float-eq" ] (lint {|let f x = x = 0.|});
+  check_rules "float arith <>" [ "d2-float-eq" ]
+    (lint {|let f a b = a <> b *. 2.|});
+  check_rules "compare on floats" [ "d2-float-eq" ]
+    (lint {|let f a b = compare (a +. 1.) b|});
+  check_rules "constraint operand" [ "d2-float-eq" ]
+    (lint {|let f x y = (x : float) = y|});
+  check_rules "infinity" [ "d2-float-eq" ] (lint {|let f x = x = infinity|})
+
+let d2_negative () =
+  check_rules "int = is fine" [] (lint {|let f x = x = 0|});
+  check_rules "string = is fine" [] (lint {|let f s = s = "x"|});
+  check_rules "Float_cmp is the fix" []
+    (lint {|let f x = Flexile_util.Float_cmp.eq x 0.|});
+  check_rules "Float.is_nan result is not a float" []
+    (lint {|let f x y = Float.is_nan x = Float.is_nan y|})
+
+(* ------------------------------------------------------------------ *)
+(* d3-tbl-order                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let d3_positive () =
+  check_rules "fold" [ "d3-tbl-order" ]
+    (lint {|let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []|});
+  check_rules "iter" [ "d3-tbl-order" ]
+    (lint {|let f g h = Hashtbl.iter g h|})
+
+let d3_negative () =
+  check_rules "sorted traversal is the fix" []
+    (lint {|let f h = Flexile_util.Tbl.sorted_fold (fun k _ acc -> k :: acc) h []|});
+  check_rules "find/replace are order-free" []
+    (lint {|let f h = Hashtbl.replace h 1 2; Hashtbl.find_opt h 1|})
+
+(* ------------------------------------------------------------------ *)
+(* c1-concurrency                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let c1_positive () =
+  check_rules "spawn" [ "c1-concurrency" ]
+    (lint {|let f () = Domain.spawn (fun () -> ())|});
+  check_rules "mutex" [ "c1-concurrency" ]
+    (lint {|let f () = Mutex.create ()|});
+  check_rules "atomic" [ "c1-concurrency" ]
+    (lint {|let f () = Atomic.make 0|});
+  (* active beyond lib/: the bench driver must use Parallel too *)
+  check_rules "bench also banned" [ "c1-concurrency" ]
+    (lint ~file:"bench/main.ml" {|let f () = Domain.spawn (fun () -> ())|})
+
+let c1_negative () =
+  check_rules "Parallel API is the fix" []
+    (lint {|let f xs = Flexile_util.Parallel.map ~jobs:4 xs|});
+  (* the pool implementation itself is allowlisted in Lint_config *)
+  let r =
+    lint ~file:"lib/util/parallel.ml" {|let f () = Mutex.create ()|}
+  in
+  check_rules "pool module exempt" [] r;
+  Alcotest.(check int) "via config" 1 r.E.config_suppressed
+
+(* ------------------------------------------------------------------ *)
+(* c2-global-mut                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let c2_positive () =
+  check_rules "toplevel ref" [ "c2-global-mut" ] (lint {|let n = ref 0|});
+  check_rules "toplevel table" [ "c2-global-mut" ]
+    (lint {|let cache = Hashtbl.create 16|});
+  check_rules "nested module counts" [ "c2-global-mut" ]
+    (lint {|module M = struct let state = ref [] end|})
+
+let c2_negative () =
+  check_rules "local ref is fine" []
+    (lint {|let f () = let r = ref 0 in incr r; !r|});
+  check_rules "immutable toplevel is fine" [] (lint {|let n = 42|})
+
+(* ------------------------------------------------------------------ *)
+(* h1-io                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let h1_positive () =
+  check_rules "printf" [ "h1-io" ] (lint {|let f () = Printf.printf "hi"|});
+  check_rules "print_endline" [ "h1-io" ]
+    (lint {|let f () = print_endline "hi"|});
+  check_rules "exit" [ "h1-io" ] (lint {|let f () = exit 1|});
+  check_rules "Obj.magic" [ "h1-io" ] (lint {|let f x = Obj.magic x|})
+
+let h1_negative () =
+  check_rules "sprintf is fine" []
+    (lint {|let f n = Printf.sprintf "%d" n|});
+  check_rules "bin may print" []
+    (lint ~file:"bin/flexile_cli.ml" {|let f () = print_endline "usage"|})
+
+(* ------------------------------------------------------------------ *)
+(* Suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let suppress_site () =
+  let r = lint {|let f x = (x = 0.) [@lint.allow "d2-float-eq"]|} in
+  check_rules "suppressed" [] r;
+  Alcotest.(check int) "counted" 1 r.E.suppressed
+
+let suppress_binding () =
+  (* [@@...] after a toplevel let lands on the value binding *)
+  let r = lint {|let f x = x = 0. [@@lint.allow "d2-float-eq"]|} in
+  check_rules "binding-level suppression" [] r;
+  Alcotest.(check int) "counted" 1 r.E.suppressed
+
+let suppress_wrong_id () =
+  let r = lint {|let f x = (x = 0.) [@lint.allow "d3-tbl-order"]|} in
+  check_rules "wrong id does not silence" [ "d2-float-eq" ] r;
+  Alcotest.(check int) "nothing suppressed" 0 r.E.suppressed
+
+let suppress_multi () =
+  let r =
+    lint
+      {|let f x = (Printf.printf "%f" x; x = 0.) [@lint.allow "d2-float-eq, h1-io"]|}
+  in
+  check_rules "comma list silences both" [] r;
+  Alcotest.(check int) "both counted" 2 r.E.suppressed
+
+(* ------------------------------------------------------------------ *)
+(* Interfaces, parse errors, merge                                     *)
+(* ------------------------------------------------------------------ *)
+
+let intf_parses () =
+  let r = lint ~file:"lib/fixture.mli" {|val f : float -> bool|} in
+  check_rules "mli clean" [] r;
+  Alcotest.(check int) "counted as a file" 1 r.E.files_checked
+
+let parse_error_reported () =
+  let r = lint {|let f = (|} in
+  Alcotest.(check (list string)) "parse error" [ "parse-error" ] (rules_hit r)
+
+let merge_reports () =
+  let a = lint {|let f x = x = 0.|} and b = lint {|let n = ref 0|} in
+  let m = E.merge [ a; b ] in
+  Alcotest.(check int) "files" 2 m.E.files_checked;
+  Alcotest.(check int) "findings" 2 (List.length m.E.findings)
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary shape                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_shape () =
+  let r =
+    E.merge [ lint {|let f x = x = 0.|}; lint {|let g () = Random.bool ()|} ]
+  in
+  let j =
+    match Json.parse (E.json_summary r) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "summary does not parse: %s" e
+  in
+  let str_member k =
+    match Option.bind (Json.member k j) Json.to_string with
+    | Some s -> s
+    | None -> Alcotest.failf "missing string member %s" k
+  in
+  let int_member k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some n -> n
+    | None -> Alcotest.failf "missing int member %s" k
+  in
+  Alcotest.(check string) "schema" "flexile-lint-summary" (str_member "schema");
+  Alcotest.(check int) "version" 1 (int_member "version");
+  Alcotest.(check int) "files" 2 (int_member "files_checked");
+  Alcotest.(check int) "total" 2 (int_member "total_findings");
+  (* per-rule counts cover every rule id *)
+  let counts =
+    match Option.bind (Json.member "counts" j) Json.to_obj with
+    | Some o -> o
+    | None -> Alcotest.fail "counts is not an object"
+  in
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id counts) then
+        Alcotest.failf "counts missing rule %s" id)
+    E.rules;
+  Alcotest.(check (option (float 0.)))
+    "d2 count" (Some 1.)
+    (Option.bind (List.assoc_opt "d2-float-eq" counts) Json.to_float);
+  (* findings carry file/line/rule/message *)
+  let fs =
+    match Option.bind (Json.member "findings" j) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "findings is not a list"
+  in
+  Alcotest.(check int) "findings array" 2 (List.length fs);
+  List.iter
+    (fun f ->
+      List.iter
+        (fun k ->
+          if Json.member k f = None then Alcotest.failf "finding missing %s" k)
+        [ "file"; "line"; "col"; "rule"; "message" ])
+    fs
+
+let rules_documented () =
+  Alcotest.(check int) "six rules" 6 (List.length E.rules);
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id E.rules) then Alcotest.failf "missing %s" id)
+    [
+      "d1-nondet"; "d2-float-eq"; "d3-tbl-order"; "c1-concurrency";
+      "c2-global-mut"; "h1-io";
+    ]
+
+let render () =
+  let r = lint {|let f x = x = 0.|} in
+  match r.E.findings with
+  | [ f ] ->
+      let s = E.render_finding f in
+      Alcotest.(check bool) "file:line: [rule]" true
+        (String.length s > 0
+        && String.sub s 0 (String.length "lib/fixture.ml:1: [d2-float-eq]")
+           = "lib/fixture.ml:1: [d2-float-eq]")
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let () =
+  Alcotest.run "flexile_lint"
+    [
+      ( "d1-nondet",
+        [
+          Alcotest.test_case "positive" `Quick d1_positive;
+          Alcotest.test_case "negative" `Quick d1_negative;
+          Alcotest.test_case "config allowlist" `Quick d1_config_allow;
+          Alcotest.test_case "zone gating" `Quick d1_zone_gate;
+        ] );
+      ( "d2-float-eq",
+        [
+          Alcotest.test_case "positive" `Quick d2_positive;
+          Alcotest.test_case "negative" `Quick d2_negative;
+        ] );
+      ( "d3-tbl-order",
+        [
+          Alcotest.test_case "positive" `Quick d3_positive;
+          Alcotest.test_case "negative" `Quick d3_negative;
+        ] );
+      ( "c1-concurrency",
+        [
+          Alcotest.test_case "positive" `Quick c1_positive;
+          Alcotest.test_case "negative" `Quick c1_negative;
+        ] );
+      ( "c2-global-mut",
+        [
+          Alcotest.test_case "positive" `Quick c2_positive;
+          Alcotest.test_case "negative" `Quick c2_negative;
+        ] );
+      ( "h1-io",
+        [
+          Alcotest.test_case "positive" `Quick h1_positive;
+          Alcotest.test_case "negative" `Quick h1_negative;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "site attribute" `Quick suppress_site;
+          Alcotest.test_case "binding attribute" `Quick suppress_binding;
+          Alcotest.test_case "wrong id" `Quick suppress_wrong_id;
+          Alcotest.test_case "multiple ids" `Quick suppress_multi;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "mli parses" `Quick intf_parses;
+          Alcotest.test_case "parse error" `Quick parse_error_reported;
+          Alcotest.test_case "merge" `Quick merge_reports;
+          Alcotest.test_case "json summary" `Quick json_shape;
+          Alcotest.test_case "rule table" `Quick rules_documented;
+          Alcotest.test_case "rendering" `Quick render;
+        ] );
+    ]

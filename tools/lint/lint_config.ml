@@ -1,0 +1,65 @@
+(* Per-file suppressions for flexile-lint.
+
+   Each entry allows one rule in the files whose normalised path ends
+   with one of the listed suffixes, with a one-line justification that
+   is echoed into the JSON summary.  Site-level exceptions should
+   prefer a [@lint.allow "rule-id"] attribute next to the offending
+   expression; this table is for files whose *purpose* is to be the
+   exception (the PRNG is allowed to be random, the domain pool is
+   allowed to spawn domains, the figure renderer is allowed to print). *)
+
+type entry = {
+  rule : string;
+  files : string list;  (* path suffixes, '/'-separated *)
+  why : string;
+}
+
+let entries =
+  [
+    {
+      rule = "d1-nondet";
+      files = [ "lib/util/prng.ml"; "lib/util/trace.ml" ];
+      why =
+        "the sanctioned nondeterminism sources: the seeded PRNG and the \
+         trace monotonic clock";
+    };
+    {
+      rule = "c1-concurrency";
+      files = [ "lib/util/parallel.ml"; "lib/util/trace.ml" ];
+      why =
+        "the domain pool and the per-domain trace state are the only \
+         modules allowed to own concurrency primitives (DESIGN.md \
+         sections 6-7)";
+    };
+    {
+      rule = "c2-global-mut";
+      files = [ "lib/util/parallel.ml"; "lib/util/trace.ml" ];
+      why =
+        "mutex-guarded process-global pool and metric registry; shared by \
+         design and touched only at handle creation / aggregation time";
+    };
+    {
+      rule = "h1-io";
+      files = [ "lib/core/figures.ml"; "lib/util/bench_gate.ml" ];
+      why =
+        "human-readable report renderers whose whole job is terminal \
+         output, invoked only from the CLI / bench driver";
+    };
+  ]
+
+let norm file =
+  String.map (fun c -> if c = '\\' then '/' else c) file
+
+let suffix_matches ~file suffix =
+  let file = norm file in
+  let lf = String.length file and ls = String.length suffix in
+  lf >= ls
+  && String.sub file (lf - ls) ls = suffix
+  && (lf = ls || file.[lf - ls - 1] = '/')
+
+let find ~rule ~file =
+  List.find_opt
+    (fun e -> e.rule = rule && List.exists (suffix_matches ~file) e.files)
+    entries
+
+let allowed ~rule ~file = find ~rule ~file <> None

@@ -1,0 +1,475 @@
+(* AST-level invariant checker: parse with the compiler's own parser,
+   walk the Parsetree with an Ast_iterator, report rule hits.  The
+   rules encode invariants introduced by earlier PRs (deterministic
+   parallel sweeps, DLS-based tracing, tolerance-based numerics); see
+   DESIGN.md section 9 for the rationale behind each id. *)
+
+open Parsetree
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+type report = {
+  files_checked : int;
+  findings : finding list;
+  suppressed : int;
+  config_suppressed : int;
+}
+
+let rules =
+  [
+    ( "d1-nondet",
+      "no Random.*, Sys.time, Unix.gettimeofday or hash-randomised tables \
+       in lib/; only Flexile_util.Prng and the Trace clock may source \
+       nondeterminism" );
+    ( "d2-float-eq",
+      "no polymorphic =/<>/compare on float operands in lib/; use \
+       Flexile_util.Float_cmp helpers" );
+    ( "d3-tbl-order",
+      "no Hashtbl.iter/Hashtbl.fold in lib/; use Flexile_util.Tbl sorted \
+       traversals so bucket order cannot leak into solver output" );
+    ( "c1-concurrency",
+      "no Domain.spawn, Mutex, Atomic or Condition outside \
+       lib/util/parallel.ml and lib/util/trace.ml" );
+    ( "c2-global-mut",
+      "no module-level mutable ref/Hashtbl globals in lib/ outside the \
+       allowlist" );
+    ( "h1-io",
+      "no Obj.magic, exit or direct printing in lib/; output flows \
+       through Trace or the CLI layer" );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Zones                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type zone = Lib | Bin | Bench | Test | Other
+
+let zone_of_file file =
+  let segs = String.split_on_char '/' (Lint_config.norm file) in
+  let rec first = function
+    | [] -> Other
+    | "lib" :: _ -> Lib
+    | "bin" :: _ -> Bin
+    | "bench" :: _ -> Bench
+    | "test" :: _ -> Test
+    | _ :: tl -> first tl
+  in
+  first segs
+
+let rule_active rule zone =
+  match rule with
+  | "c1-concurrency" -> zone = Lib || zone = Bin || zone = Bench
+  | _ -> zone = Lib
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let flat lid = String.concat "." (Longident.flatten lid)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let d1_ident n =
+  if has_prefix ~prefix:"Random." n then
+    Some (n ^ " draws from the global RNG; use Flexile_util.Prng")
+  else
+    match n with
+    | "Sys.time" | "Unix.gettimeofday" | "Unix.time" ->
+        Some (n ^ " reads the system clock; use Flexile_util.Trace.now_s")
+    | "Hashtbl.hash" | "Hashtbl.seeded_hash" | "Hashtbl.randomize" ->
+        Some (n ^ " invites hash-order dependence; key tables explicitly")
+    | _ -> None
+
+let c1_ident n =
+  match n with
+  | "Domain.spawn" | "Domain.join" -> true
+  | _ ->
+      has_prefix ~prefix:"Mutex." n
+      || has_prefix ~prefix:"Atomic." n
+      || has_prefix ~prefix:"Condition." n
+
+let print_idents =
+  [
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+    "prerr_float"; "prerr_bytes";
+  ]
+
+let h1_ident n =
+  if n = "Obj.magic" then Some "Obj.magic defeats the type system"
+  else if n = "exit" then
+    Some "exit in lib/ kills the host process; return errors to the caller"
+  else if List.mem n print_idents then
+    Some (n ^ " prints directly; output must flow through Trace or the CLI")
+  else None
+
+(* Float.* functions that do NOT return float: calling one of these is
+   not evidence that the surrounding comparison is float-typed. *)
+let float_mod_non_float =
+  [
+    "Float.is_nan"; "Float.is_finite"; "Float.is_integer"; "Float.sign_bit";
+    "Float.equal"; "Float.compare"; "Float.to_int"; "Float.to_string";
+  ]
+
+let float_ops =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "~+."; "abs_float"; "sqrt"; "exp";
+    "log"; "log10"; "cos"; "sin"; "tan"; "atan"; "atan2"; "ceil"; "floor";
+    "mod_float"; "float_of_int"; "float_of_string"; "float";
+  ]
+
+let float_consts =
+  [ "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float";
+    "min_float" ]
+
+let rec is_float_type t =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+  | Ptyp_constr ({ txt = Longident.Ldot (Longident.Lident "Float", "t"); _ }, [])
+    -> true
+  | Ptyp_poly (_, t') -> is_float_type t'
+  | _ -> false
+
+(* Conservative syntactic evidence that an expression is float-typed:
+   literals, float arithmetic, Float.* calls, known float constants and
+   explicit (e : float) ascriptions.  Anything else is assumed non-float
+   so the rule stays low-noise. *)
+let rec is_floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (inner, t) -> is_float_type t || is_floatish inner
+  | Pexp_ident { txt; _ } -> List.mem (flat txt) float_consts
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let n = flat txt in
+      List.mem n float_ops
+      || (has_prefix ~prefix:"Float." n && not (List.mem n float_mod_non_float))
+  | _ -> false
+
+let eq_ops = [ "="; "<>"; "=="; "!=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Suppression attributes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let split_ids s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun x -> x <> "")
+
+let allow_ids_of_attrs attrs =
+  List.concat_map
+    (fun a ->
+      if a.attr_name.txt <> "lint.allow" then []
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] ->
+            split_ids s
+        | _ -> [])
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  cfile : string;
+  zone : zone;
+  mutable out : finding list;
+  mutable n_suppressed : int;
+  mutable n_config : int;
+  mutable allow_stack : string list;
+  mutable expr_depth : int;
+}
+
+let hit ctx rule (loc : Location.t) message =
+  if rule_active rule ctx.zone then
+    if List.mem rule ctx.allow_stack then
+      ctx.n_suppressed <- ctx.n_suppressed + 1
+    else if Lint_config.allowed ~rule ~file:ctx.cfile then
+      ctx.n_config <- ctx.n_config + 1
+    else
+      let p = loc.loc_start in
+      ctx.out <-
+        {
+          file = ctx.cfile;
+          line = p.pos_lnum;
+          col = p.pos_cnum - p.pos_bol;
+          rule;
+          message;
+        }
+        :: ctx.out
+
+let with_allow ctx ids f =
+  if ids = [] then f ()
+  else begin
+    let saved = ctx.allow_stack in
+    ctx.allow_stack <- ids @ saved;
+    Fun.protect ~finally:(fun () -> ctx.allow_stack <- saved) f
+  end
+
+let check_ident ctx loc n =
+  (match d1_ident n with Some m -> hit ctx "d1-nondet" loc m | None -> ());
+  if n = "Hashtbl.iter" || n = "Hashtbl.fold" then
+    hit ctx "d3-tbl-order" loc
+      (n
+     ^ " visits bindings in bucket order; use Flexile_util.Tbl.sorted_iter/\
+        sorted_fold so the order cannot leak into results");
+  if c1_ident n then
+    hit ctx "c1-concurrency" loc
+      (n
+     ^ " outside lib/util/{parallel,trace}.ml; route concurrency through \
+        Flexile_util.Parallel");
+  match h1_ident n with Some m -> hit ctx "h1-io" loc m | None -> ()
+
+let is_false_lit e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) -> true
+  | _ -> false
+
+let check_apply ctx e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+      let n = flat txt in
+      let positional =
+        List.filter_map
+          (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None)
+          args
+      in
+      (* d2: =/<>/compare with a float-looking operand *)
+      (if
+         (List.mem n eq_ops || n = "compare" || n = "Stdlib.compare")
+         && List.length positional >= 2
+         && List.exists is_floatish positional
+       then
+         hit ctx "d2-float-eq" e.pexp_loc
+           ("polymorphic " ^ n
+          ^ " on a float operand; use Flexile_util.Float_cmp (eq/zero for \
+             tolerance, exactly_* when exact IEEE equality is intended)"));
+      (* d1: Hashtbl.create ~random:true (or non-literal) *)
+      match n with
+      | "Hashtbl.create" ->
+          List.iter
+            (fun (l, a) ->
+              match l with
+              | Asttypes.Labelled "random" when not (is_false_lit a) ->
+                  hit ctx "d1-nondet" e.pexp_loc
+                    "Hashtbl.create ~random makes iteration order depend on \
+                     a per-process seed"
+              | _ -> ())
+            args
+      | _ -> ())
+  | _ -> ()
+
+(* Module-level mutable state: [let x = ref ...] or
+   [let x = Hashtbl.create ...] directly under a structure. *)
+let rec global_mut_kind e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> global_mut_kind inner
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flat txt with
+      | "ref" -> Some "ref"
+      | "Hashtbl.create" -> Some "Hashtbl"
+      | _ -> None)
+  | _ -> None
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | _ -> "_"
+
+let check_global_binding ctx vb =
+  match global_mut_kind vb.pvb_expr with
+  | None -> ()
+  | Some kind ->
+      let ids =
+        allow_ids_of_attrs (vb.pvb_attributes @ vb.pvb_expr.pexp_attributes)
+      in
+      with_allow ctx ids (fun () ->
+          hit ctx "c2-global-mut" vb.pvb_loc
+            ("module-level mutable state (" ^ kind ^ " '" ^ binding_name vb
+           ^ "'); pass state explicitly, or annotate with [@lint.allow \
+              \"c2-global-mut\"] / add a Lint_config entry with a \
+              justification"))
+
+let make_iterator ctx =
+  let default = Ast_iterator.default_iterator in
+  let expr self e =
+    let ids = allow_ids_of_attrs e.pexp_attributes in
+    with_allow ctx ids (fun () ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> check_ident ctx e.pexp_loc (flat txt)
+        | Pexp_apply _ -> check_apply ctx e
+        | _ -> ());
+        ctx.expr_depth <- ctx.expr_depth + 1;
+        Fun.protect
+          ~finally:(fun () -> ctx.expr_depth <- ctx.expr_depth - 1)
+          (fun () -> default.expr self e))
+  in
+  let structure_item self item =
+    let item_ids =
+      match item.pstr_desc with
+      | Pstr_eval (_, attrs) -> allow_ids_of_attrs attrs
+      | _ -> []
+    in
+    with_allow ctx item_ids (fun () ->
+        (match item.pstr_desc with
+        | Pstr_value (_, vbs) when ctx.expr_depth = 0 ->
+            List.iter (check_global_binding ctx) vbs
+        | _ -> ());
+        default.structure_item self item)
+  in
+  let value_binding self vb =
+    let ids = allow_ids_of_attrs vb.pvb_attributes in
+    with_allow ctx ids (fun () -> default.value_binding self vb)
+  in
+  { default with expr; structure_item; value_binding }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_intf file =
+  String.length file >= 4 && String.sub file (String.length file - 4) 4 = ".mli"
+
+let check_source ~file src =
+  let ctx =
+    {
+      cfile = Lint_config.norm file;
+      zone = zone_of_file file;
+      out = [];
+      n_suppressed = 0;
+      n_config = 0;
+      allow_stack = [];
+      expr_depth = 0;
+    }
+  in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  (try
+     let it = make_iterator ctx in
+     if is_intf file then it.signature it (Parse.interface lexbuf)
+     else it.structure it (Parse.implementation lexbuf)
+   with exn ->
+     let line, col =
+       match exn with
+       | Syntaxerr.Error e ->
+           let loc = Syntaxerr.location_of_error e in
+           (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+       | _ -> (lexbuf.lex_curr_p.pos_lnum, 0)
+     in
+     ctx.out <-
+       {
+         file = ctx.cfile;
+         line;
+         col;
+         rule = "parse-error";
+         message = "source failed to parse: " ^ Printexc.to_string exn;
+       }
+       :: ctx.out);
+  {
+    files_checked = 1;
+    findings = List.rev ctx.out;
+    suppressed = ctx.n_suppressed;
+    config_suppressed = ctx.n_config;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file path = check_source ~file:path (read_file path)
+
+let merge reports =
+  List.fold_left
+    (fun acc r ->
+      {
+        files_checked = acc.files_checked + r.files_checked;
+        findings = acc.findings @ r.findings;
+        suppressed = acc.suppressed + r.suppressed;
+        config_suppressed = acc.config_suppressed + r.config_suppressed;
+      })
+    { files_checked = 0; findings = []; suppressed = 0; config_suppressed = 0 }
+    reports
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_finding f =
+  Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+(* JSON emission mirrors the conventions of Flexile_util.Trace_export:
+   hand-rolled Buffer writer, escaped strings, stable field order. *)
+let esc b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let json_summary r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"flexile-lint-summary\",\n";
+  Buffer.add_string b "  \"version\": 1,\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"files_checked\": %d,\n" r.files_checked);
+  Buffer.add_string b
+    (Printf.sprintf "  \"total_findings\": %d,\n" (List.length r.findings));
+  Buffer.add_string b (Printf.sprintf "  \"suppressed\": %d,\n" r.suppressed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"config_suppressed\": %d,\n" r.config_suppressed);
+  Buffer.add_string b "  \"counts\": {";
+  List.iteri
+    (fun i (id, _) ->
+      if i > 0 then Buffer.add_string b ", ";
+      let n =
+        List.length (List.filter (fun f -> f.rule = id) r.findings)
+      in
+      esc b id;
+      Buffer.add_string b (Printf.sprintf ": %d" n))
+    rules;
+  Buffer.add_string b "},\n  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b "    {\"file\": ";
+      esc b f.file;
+      Buffer.add_string b (Printf.sprintf ", \"line\": %d, \"col\": %d, " f.line f.col);
+      Buffer.add_string b "\"rule\": ";
+      esc b f.rule;
+      Buffer.add_string b ", \"message\": ";
+      esc b f.message;
+      Buffer.add_string b "}")
+    r.findings;
+  if r.findings <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b

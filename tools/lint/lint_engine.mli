@@ -1,0 +1,43 @@
+(** AST-level invariant checker for the Flexile repository.
+
+    Parses [.ml] / [.mli] sources into the compiler's Parsetree and
+    walks them with an [Ast_iterator], enforcing the repo-specific
+    determinism / concurrency / hygiene rules documented in DESIGN.md
+    section 9.  Findings can be suppressed per-site with a
+    [[\@lint.allow "rule-id"]] attribute (ids separated by spaces or
+    commas) or per-file via {!Lint_config}. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+type report = {
+  files_checked : int;
+  findings : finding list;  (** source order within a file *)
+  suppressed : int;  (** silenced by a [\@lint.allow] attribute *)
+  config_suppressed : int;  (** silenced by a {!Lint_config} entry *)
+}
+
+val rules : (string * string) list
+(** [(rule-id, one-line description)] for every enforced rule. *)
+
+val check_source : file:string -> string -> report
+(** Lint one compilation unit given as a string.  [file] decides both
+    the parser ([.mli] -> interface) and which rules apply (zone:
+    [lib/], [bin/], [bench/], [test/]). *)
+
+val check_file : string -> report
+(** [check_source] over the contents of [path]. *)
+
+val merge : report list -> report
+
+val render_finding : finding -> string
+(** ["file:line: [rule-id] message"]. *)
+
+val json_summary : report -> string
+(** Machine-readable summary: schema version, files checked, per-rule
+    counts, the findings array, and suppression totals. *)

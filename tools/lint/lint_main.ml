@@ -1,0 +1,74 @@
+(* flexile-lint CLI: walk the given directories (default: lib bin bench
+   test), lint every .ml/.mli, print one diagnostic per finding and
+   optionally a JSON summary, exit non-zero on any unsuppressed hit. *)
+
+module Lint_engine = Flexile_lint.Lint_engine
+
+let usage = "flexile-lint [--json FILE] [--quiet] [DIR|FILE]..."
+
+let has_suffix s suf =
+  let ls = String.length s and lu = String.length suf in
+  ls >= lu && String.sub s (ls - lu) lu = suf
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || entry = ".git" then acc
+           else collect acc (Filename.concat path entry))
+         acc
+  else if has_suffix path ".ml" || has_suffix path ".mli" then path :: acc
+  else acc
+
+let () =
+  let json_out = ref None in
+  let quiet = ref false in
+  let roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: f :: rest ->
+        json_out := Some f;
+        parse_args rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse_args rest
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | a :: rest ->
+        roots := a :: !roots;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test" ]
+    | rs -> rs
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  List.iter (Printf.eprintf "flexile-lint: no such path: %s\n") missing;
+  let files =
+    List.filter (fun r -> Sys.file_exists r) roots
+    |> List.fold_left collect []
+    |> List.sort compare
+  in
+  let report =
+    Lint_engine.merge (List.map Lint_engine.check_file files)
+  in
+  if not !quiet then
+    List.iter
+      (fun f -> print_endline (Lint_engine.render_finding f))
+      report.Lint_engine.findings;
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Lint_engine.json_summary report);
+      close_out oc);
+  let n = List.length report.Lint_engine.findings in
+  if not !quiet then
+    Printf.printf "flexile-lint: %d file(s), %d finding(s), %d suppressed, %d config-allowed\n"
+      report.Lint_engine.files_checked n report.Lint_engine.suppressed
+      report.Lint_engine.config_suppressed;
+  if n > 0 || missing <> [] then exit 1
