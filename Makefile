@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint verify baseline clean
+.PHONY: all build test bench lint monitor-smoke verify baseline clean
 
 all: build
 
@@ -20,18 +20,35 @@ lint:
 	dune exec --no-build tools/lint/lint_main.exe -- \
 	  --json lint-summary.json lib bin bench test
 
+# SLO monitor smoke (DESIGN.md section 10): replay a short seeded
+# failure stream twice and assert the Prometheus page and the JSONL
+# snapshot series are byte-identical — the deterministic-export
+# contract the monitor's artifacts rely on.
+monitor-smoke:
+	dune build bin/flexile_cli.exe
+	dune exec --no-build bin/flexile_cli.exe -- monitor IBM --seed 7 \
+	  --draws 48 --scenarios 24 --max-pairs 40 --iterations 1 --jobs 2 \
+	  --snapshot-every 12 --prom monitor-a.prom --jsonl monitor-a.jsonl
+	dune exec --no-build bin/flexile_cli.exe -- monitor IBM --seed 7 \
+	  --draws 48 --scenarios 24 --max-pairs 40 --iterations 1 --jobs 2 \
+	  --snapshot-every 12 --prom monitor-b.prom --jsonl monitor-b.jsonl
+	cmp monitor-a.prom monitor-b.prom
+	cmp monitor-a.jsonl monitor-b.jsonl
+
 # Relative headroom for the benchmark regression gate.  50% absorbs
 # ordinary same-machine jitter; CI overrides this upward because the
 # committed baseline was recorded on a different machine.
 BENCH_TOLERANCE ?= 50
 
-# Tier-1 verification: full build, the linter, the test suite, a smoke
-# run of the micro-benchmarks (exercises the parallel sweep at jobs 1
-# and 4), and the regression gate against the committed baseline.
+# Tier-1 verification: full build, the linter, the test suite, the
+# monitor determinism smoke, a smoke run of the micro-benchmarks
+# (exercises the parallel sweep at jobs 1 and 4), and the regression
+# gate against the committed baseline.
 verify:
 	dune build
 	$(MAKE) lint
 	dune runtest
+	$(MAKE) monitor-smoke
 	dune exec bench/main.exe -- --micro
 	dune exec bench/main.exe -- --gate --repeat 3 --jobs 2 \
 	  --check BENCH_PR3.json --tolerance $(BENCH_TOLERANCE)

@@ -248,8 +248,12 @@ let write_json path ~profile_name ~jobs ~figures ~micro =
     micro;
   (* the trace section is the full registry — every module's counters,
      gauges, timers and span totals, plus the hierarchical span tree —
-     not just the offline solver's derived summary *)
-  item "],\"trace\":%s}\n" (Flexile_te.Flexile_offline.trace_json ());
+     not just the offline solver's derived summary; histograms adds
+     the per-name quantile summaries with raw bucket lists (schema v2,
+     see Bench_gate) *)
+  item "],\"trace\":%s,\"histograms\":%s}\n"
+    (Flexile_te.Flexile_offline.trace_json ())
+    (Flexile_obs.Metrics_export.histograms_json ());
   close_out oc;
   Printf.printf "\nwrote timings to %s\n" path
 
@@ -356,7 +360,11 @@ let () =
       let oc = open_out !json in
       output_string oc
         (Bench_gate.to_json
-           ~extra:[ ("trace", Flexile_te.Flexile_offline.trace_json ()) ]
+           ~extra:
+             [
+               ("trace", Flexile_te.Flexile_offline.trace_json ());
+               ("histograms", Flexile_obs.Metrics_export.histograms_json ());
+             ]
            measured);
       close_out oc;
       Printf.printf "wrote gate measurements to %s\n" !json

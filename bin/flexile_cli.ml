@@ -268,6 +268,193 @@ let emulate_cmd =
     (Cmd.info "emulate" ~doc:"Emulate a scheme's allocation with discretization.")
     term
 
+(* ---- monitor ---- *)
+
+(* Replay a seeded stream of failure draws through the online
+   allocator (optionally through the emulator) and watch the SLO: the
+   offline solve's per-class PercLoss is the promise, Flexile_obs.Slo
+   tracks observed attainment and burn rate, and metrics snapshots go
+   out as JSONL plus a final Prometheus page.  Artifacts are
+   byte-identical across invocations for a fixed seed and job count:
+   the exporters run with [~deterministic:true], which restricts them
+   to metrics that are pure functions of the seeded work. *)
+let monitor_cmd =
+  let iterations =
+    Arg.(value & opt int 5
+         & info [ "iterations" ] ~doc:"Offline decomposition iterations.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Seed of the failure-draw sequence (fully determines the \
+                   replay).")
+  in
+  let draws_arg =
+    Arg.(value & opt int 200
+         & info [ "draws" ] ~docv:"N" ~doc:"Number of failure draws to replay.")
+  in
+  let snapshot_arg =
+    Arg.(value & opt int 50
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"Emit one JSONL metrics+SLO snapshot every $(docv) draws \
+                   (and a final one).")
+  in
+  let window_arg =
+    Arg.(value & opt int 100
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Sliding window (in draws) of the burn-rate computation.")
+  in
+  let prom_arg =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+             ~doc:"Write the final metric registry as Prometheus text \
+                   exposition format to $(docv).")
+  in
+  let jsonl_arg =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"Write the snapshot time series (one JSON object per line) \
+                   to $(docv).")
+  in
+  let emulate_arg =
+    Arg.(value & flag
+         & info [ "emulate" ]
+             ~doc:"Push each drawn scenario's allocation through the \
+                   packet-level discretization emulator and observe the \
+                   emulated losses instead of the fluid ones.")
+  in
+  let run () name two max_scenarios max_pairs iterations jobs seed draws
+      snapshot_every window prom jsonl emulate =
+    (* histograms and counters drive the report; enable unconditionally *)
+    Trace.set_enabled true;
+    let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+    print_instance inst;
+    let config =
+      {
+        Flexile_te.Flexile_offline.default_config with
+        Flexile_te.Flexile_offline.max_iterations = iterations;
+        jobs;
+      }
+    in
+    let off = Flexile_te.Flexile_offline.solve ~config inst in
+    let best = off.Flexile_te.Flexile_offline.best in
+    let promised =
+      Array.init (Array.length inst.Instance.classes) (fun k ->
+          Metrics.perc_loss inst best.Flexile_te.Flexile_offline.losses ~cls:k
+            ())
+    in
+    Array.iteri
+      (fun k p ->
+        Printf.printf "promise class %d (%s): PercLoss <= %.4f%%\n" k
+          inst.Instance.classes.(k).Instance.cname (100. *. p))
+      promised;
+    let slo = Flexile_obs.Slo.create ~window ~promised inst in
+    let nscen = Instance.nscenarios inst in
+    let cum = Array.make nscen 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i (s : Flexile_failure.Failure_model.scenario) ->
+        acc := !acc +. s.Flexile_failure.Failure_model.prob;
+        cum.(i) <- !acc)
+      inst.Instance.scenarios;
+    let coverage =
+      Flexile_failure.Failure_model.coverage inst.Instance.scenarios
+    in
+    (* the emulator reads one column of a model matrix; fill lazily *)
+    let model = if emulate then Some (Instance.alloc_losses inst) else None in
+    let cache = Array.make nscen None in
+    let losses_for sid =
+      match cache.(sid) with
+      | Some a -> a
+      | None ->
+          let arr = Array.make (Instance.nflows inst) 0. in
+          List.iter
+            (fun (fid, l) -> arr.(fid) <- l)
+            (Flexile_te.Flexile_online.allocate inst ~sid
+               ~critical:(fun fid ->
+                 best.Flexile_te.Flexile_offline.z.(fid).(sid))
+               ~offline_loss:(fun fid ->
+                 best.Flexile_te.Flexile_offline.losses.(fid).(sid)));
+          let arr =
+            match model with
+            | None -> arr
+            | Some m ->
+                Array.iteri (fun fid l -> m.(fid).(sid) <- l) arr;
+                (* per-scenario seed: the cache makes each scenario's
+                   emulation independent of draw order *)
+                let eseed =
+                  Flexile_util.Prng.of_string
+                    (Printf.sprintf "monitor-emu-%d-%d" seed sid)
+                in
+                Flexile_emu.Emulator.emulate_scenario ~seed:eseed inst ~sid
+                  ~model_losses:m
+          in
+          cache.(sid) <- Some arr;
+          arr
+    in
+    let rng =
+      Flexile_util.Prng.of_string (Printf.sprintf "monitor-%d" seed)
+    in
+    let jsonl_buf = Buffer.create 4096 in
+    for i = 1 to draws do
+      let u = Flexile_util.Prng.float rng in
+      if u >= coverage then Flexile_obs.Slo.observe_unenumerated slo
+      else begin
+        let sid = ref 0 in
+        while cum.(!sid) <= u do incr sid done;
+        Flexile_obs.Slo.observe slo ~sid:!sid ~losses:(losses_for !sid)
+      end;
+      if i mod snapshot_every = 0 || i = draws then
+        Printf.bprintf jsonl_buf "{\"draw\":%d,\"slo\":%s,\"metrics\":%s}\n" i
+          (Flexile_obs.Slo.report_json slo)
+          (Flexile_obs.Metrics_export.snapshot_json ~deterministic:true ())
+    done;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Buffer.output_buffer oc jsonl_buf;
+        close_out oc;
+        Printf.printf "wrote snapshots to %s\n" path)
+      jsonl;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc
+          (Flexile_obs.Metrics_export.prometheus ~deterministic:true ());
+        close_out oc;
+        Printf.printf "wrote Prometheus metrics to %s\n" path)
+      prom;
+    Printf.printf
+      "monitor: %d draws (%d outside the enumerated set), %d/%d scenarios seen\n"
+      (Flexile_obs.Slo.draws slo)
+      (Flexile_obs.Slo.unenumerated_draws slo)
+      (Flexile_obs.Slo.scenarios_seen slo)
+      nscen;
+    List.iter
+      (fun (r : Flexile_obs.Slo.class_report) ->
+        Printf.printf
+          "class %d (%s): promised %.4f%% observed %.4f%% %s  bad draws \
+           %d/%d  burn rate %.3f (window %d)\n"
+          r.Flexile_obs.Slo.rcls r.Flexile_obs.Slo.rname
+          (100. *. r.Flexile_obs.Slo.rpromised)
+          (100. *. r.Flexile_obs.Slo.robserved)
+          (if r.Flexile_obs.Slo.rattained then "ATTAINED" else "MISSED")
+          r.Flexile_obs.Slo.rbad_draws
+          (Flexile_obs.Slo.draws slo)
+          r.Flexile_obs.Slo.rburn_rate r.Flexile_obs.Slo.rwindow_len)
+      (Flexile_obs.Slo.report slo)
+  in
+  let term =
+    Term.(const run $ verbose_term $ topology_arg $ two_class_arg
+          $ scenarios_arg $ pairs_arg $ iterations $ jobs_arg $ seed_arg
+          $ draws_arg $ snapshot_arg $ window_arg $ prom_arg $ jsonl_arg
+          $ emulate_arg)
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Replay a seeded failure stream and report SLO attainment.")
+    term
+
 (* ---- augment ---- *)
 
 let augment_cmd =
@@ -321,5 +508,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; compare_cmd; topo_cmd; scale_cmd; emulate_cmd;
-            augment_cmd;
+            monitor_cmd; augment_cmd;
           ]))

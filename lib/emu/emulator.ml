@@ -4,6 +4,13 @@ module Graph = Flexile_net.Graph
 module Instance = Flexile_te.Instance
 module Prng = Flexile_util.Prng
 module Stats = Flexile_util.Stats
+module Trace = Flexile_util.Trace
+
+(* per-scenario emulation latency, and the distribution of the
+   discretization gap |emulated - model| over (flow, scenario) cells —
+   the quantity Fig. 9c studies, live as a histogram *)
+let h_scenario = Trace.hist "emu.scenario_seconds"
+let h_abs_diff = Trace.hist "emu.flow_abs_diff"
 
 type run = {
   emulated : Instance.losses;
@@ -138,28 +145,27 @@ let cached_allocation inst ~sid ~model_losses =
       slot.(sid) <- Some a;
       a
 
-let emulate ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
-    ~model_losses =
-  let nq = Instance.nscenarios inst in
-  let emulated = Instance.alloc_losses inst in
-  for sid = 0 to nq - 1 do
-    let alloc = cached_allocation inst ~sid ~model_losses in
-    (* per-flow packetized tunnel volumes *)
-    let tunnel_traffic = ref [] in
-    let flow_sent = Array.make (Instance.nflows inst) 0. in
-    Array.iter
-      (fun (f : Instance.flow) ->
+let emulate_scenario ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
+    ~sid ~model_losses =
+  Trace.observe_duration h_scenario @@ fun () ->
+  let out = Array.make (Instance.nflows inst) 1. in
+  let alloc = cached_allocation inst ~sid ~model_losses in
+  (* per-flow packetized tunnel volumes *)
+  let tunnel_traffic = ref [] in
+  let flow_sent = Array.make (Instance.nflows inst) 0. in
+  Array.iter
+    (fun (f : Instance.flow) ->
         let fid = f.Instance.fid in
         let demand = Instance.demand_in inst f sid in
-        if demand <= 0. then emulated.(fid).(sid) <- 0.
+        if demand <= 0. then out.(fid) <- 0.
         else if not (Instance.flow_connected inst f sid) then
-          emulated.(fid).(sid) <- 1.
+          out.(fid) <- 1.
         else begin
           let split = alloc.(f.Instance.cls).(f.Instance.pair) in
           let weights = integer_weights ~weight_scale split in
           let wsum = Array.fold_left ( + ) 0 weights in
           let admitted = demand *. (1. -. model_losses.(fid).(sid)) in
-          if wsum = 0 || admitted <= 0. then emulated.(fid).(sid) <- 1.
+          if wsum = 0 || admitted <= 0. then out.(fid) <- 1.
           else begin
             let npackets =
               max 1
@@ -196,32 +202,42 @@ let emulate ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
             flow_sent.(fid) <- admitted
           end
         end)
-      inst.Instance.flows;
-    let traffic_only =
-      List.map (fun (t, v, _) -> (t, v)) !tunnel_traffic
+    inst.Instance.flows;
+  let traffic_only = List.map (fun (t, v, _) -> (t, v)) !tunnel_traffic in
+  let factors = link_pass_factors inst ~sid traffic_only in
+  let delivered = Array.make (Instance.nflows inst) 0. in
+  List.iter
+    (fun ((t : Flexile_net.Tunnels.t), volume, fid) ->
+      let carried = ref volume in
+      Array.iter
+        (fun e -> carried := !carried *. factors.(e))
+        t.Flexile_net.Tunnels.path;
+      delivered.(fid) <- delivered.(fid) +. !carried)
+    !tunnel_traffic;
+  Array.iter
+    (fun (f : Instance.flow) ->
+      let fid = f.Instance.fid in
+      let demand = Instance.demand_in inst f sid in
+      if
+        demand > 0.
+        && Instance.flow_connected inst f sid
+        && flow_sent.(fid) > 0.
+      then
+        out.(fid) <-
+          Float.max 0. (Float.min 1. (1. -. (delivered.(fid) /. demand))))
+    inst.Instance.flows;
+  out
+
+let emulate ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
+    ~model_losses =
+  let nq = Instance.nscenarios inst in
+  let emulated = Instance.alloc_losses inst in
+  for sid = 0 to nq - 1 do
+    let per_flow =
+      emulate_scenario ~packets_per_unit ~weight_scale ~seed inst ~sid
+        ~model_losses
     in
-    let factors = link_pass_factors inst ~sid traffic_only in
-    let delivered = Array.make (Instance.nflows inst) 0. in
-    List.iter
-      (fun ((t : Flexile_net.Tunnels.t), volume, fid) ->
-        let carried = ref volume in
-        Array.iter
-          (fun e -> carried := !carried *. factors.(e))
-          t.Flexile_net.Tunnels.path;
-        delivered.(fid) <- delivered.(fid) +. !carried)
-      !tunnel_traffic;
-    Array.iter
-      (fun (f : Instance.flow) ->
-        let fid = f.Instance.fid in
-        let demand = Instance.demand_in inst f sid in
-        if
-          demand > 0.
-          && Instance.flow_connected inst f sid
-          && flow_sent.(fid) > 0.
-        then
-          emulated.(fid).(sid) <-
-            Float.max 0. (Float.min 1. (1. -. (delivered.(fid) /. demand))))
-      inst.Instance.flows
+    Array.iteri (fun fid v -> emulated.(fid).(sid) <- v) per_flow
   done;
   (* compare against the model *)
   let em = ref [] and mo = ref [] and diffs = ref [] in
@@ -231,10 +247,12 @@ let emulate ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
         for sid = 0 to nq - 1 do
           em := emulated.(f.Instance.fid).(sid) :: !em;
           mo := model_losses.(f.Instance.fid).(sid) :: !mo;
-          diffs :=
+          let d =
             emulated.(f.Instance.fid).(sid)
             -. model_losses.(f.Instance.fid).(sid)
-            :: !diffs
+          in
+          Trace.observe h_abs_diff (Float.abs d);
+          diffs := d :: !diffs
         done)
     inst.Instance.flows;
   let em = Array.of_list !em and mo = Array.of_list !mo in
@@ -242,7 +260,7 @@ let emulate ?(packets_per_unit = 200) ?(weight_scale = 100) ~seed inst
   let n = Array.length diffs in
   let diff_cdf =
     let sorted = Array.copy diffs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     Array.to_list
       (Array.mapi
          (fun i v -> (v, float_of_int (i + 1) /. float_of_int n))

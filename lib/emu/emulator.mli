@@ -33,6 +33,21 @@ val reconstruct_allocation :
     realizing the scheme's model losses in a scenario: the LP the
     controller would solve to install forwarding weights. *)
 
+val emulate_scenario :
+  ?packets_per_unit:int ->
+  ?weight_scale:int ->
+  seed:Flexile_util.Prng.t ->
+  Flexile_te.Instance.t ->
+  sid:int ->
+  model_losses:Flexile_te.Instance.losses ->
+  float array
+(** Emulate a single scenario; returns the per-flow loss fractions
+    (indexed by flow id).  Only column [sid] of [model_losses] is
+    read, so a replay driver (the [flexile monitor] subcommand) can
+    fill the matrix lazily as scenarios are drawn.  The PRNG state
+    advances with each packet, so independent per-scenario seeds give
+    draw-order-independent results. *)
+
 val emulate :
   ?packets_per_unit:int ->
   ?weight_scale:int ->
@@ -40,6 +55,7 @@ val emulate :
   Flexile_te.Instance.t ->
   model_losses:Flexile_te.Instance.losses ->
   run
-(** Emulate every scenario once.  [packets_per_unit] (default 200)
-    controls quantization granularity; [weight_scale] (default 100)
-    is the Open vSwitch select-group weight range. *)
+(** Emulate every scenario once (via {!emulate_scenario}, one shared
+    PRNG).  [packets_per_unit] (default 200) controls quantization
+    granularity; [weight_scale] (default 100) is the Open vSwitch
+    select-group weight range. *)

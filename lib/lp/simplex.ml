@@ -35,6 +35,7 @@ let c_refactorizations = Trace.counter "simplex.refactorizations"
 let c_warm_attempts = Trace.counter "simplex.warm_attempts"
 let c_warm_hits = Trace.counter "simplex.warm_hits"
 let c_warm_fallbacks = Trace.counter "simplex.warm_fallbacks"
+let h_iterations = Trace.hist "simplex.iterations_per_solve"
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -529,6 +530,7 @@ let extract_solution st ~status ~iterations =
     obj := !obj +. (st.cost.(j) *. x.(j))
   done;
   Trace.add c_iterations iterations;
+  Trace.observe h_iterations (float_of_int iterations);
   st.last_status <- Some status;
   {
     status;

@@ -1,0 +1,185 @@
+(* Render the full Trace registry in wire formats monitoring stacks
+   consume: Prometheus text exposition (one scrape page) and one-line
+   JSON snapshots (a JSONL time series when written per monitoring
+   step).  Pure string builders over Trace's quiescent-point reads —
+   callers decide where the bytes go. *)
+
+module Trace = Flexile_util.Trace
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the registry
+   uses dotted names ("simplex.iterations_per_solve"), so map every
+   other character to '_'.  The "flexile_" prefix both namespaces the
+   scrape page and guarantees a valid leading character. *)
+let prom_name name =
+  "flexile_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+(* Deterministic subset: metrics whose values are pure functions of
+   the (seeded) work — integer counters and value-distribution
+   histograms.  Wall-clock measurements (timers, spans, duration
+   histograms by the "_seconds" naming convention), high-water gauges
+   and GC counters vary run to run and would break the monitor's
+   byte-identical-artifacts guarantee. *)
+let deterministic_metric (name, kind) =
+  match (kind : Trace.metric_kind) with
+  | Trace.Counter -> not (String.starts_with ~prefix:"gc." name)
+  | Trace.Hist -> not (String.ends_with ~suffix:"_seconds" name)
+  | Trace.Gauge | Trace.Timer | Trace.Span | Trace.Probe -> false
+
+let select ~deterministic =
+  let all = Trace.registry () in
+  if deterministic then List.filter deterministic_metric all else all
+
+(* Prometheus floats: literal NaN / +Inf / -Inf, else shortest-ish
+   round-trippable decimal. *)
+let fnum v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v
+  else if Float.is_nan v then "NaN"
+  else if v > 0. then "+Inf"
+  else "-Inf"
+
+(* JSON has no non-finite literals; empty-histogram min/max (nan)
+   serialize as null. *)
+let jnum v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bprint_prom_hist b p (s : Trace.hist_snapshot) =
+  Printf.bprintf b "# TYPE %s histogram\n" p;
+  (* exposition-format buckets are cumulative *)
+  let cum = ref 0 in
+  List.iter
+    (fun (ub, c) ->
+      cum := !cum + c;
+      Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" p (fnum ub) !cum)
+    s.Trace.hist_buckets;
+  Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" p s.Trace.hist_count;
+  Printf.bprintf b "%s_sum %s\n" p (fnum s.Trace.hist_sum);
+  Printf.bprintf b "%s_count %d\n" p s.Trace.hist_count
+
+let prometheus ?(deterministic = false) () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, kind) ->
+      let p = prom_name name in
+      match (kind : Trace.metric_kind) with
+      | Trace.Counter ->
+          Printf.bprintf b "# TYPE %s_total counter\n%s_total %d\n" p p
+            (Trace.value_by_name name)
+      | Trace.Gauge ->
+          Printf.bprintf b "# TYPE %s gauge\n%s %d\n" p p
+            (Trace.value_by_name name)
+      | Trace.Timer | Trace.Span ->
+          (* totals-only accumulators map onto a summary with no
+             quantile lines *)
+          Printf.bprintf b
+            "# TYPE %s_seconds summary\n%s_seconds_sum %s\n%s_seconds_count %d\n"
+            p p
+            (fnum (Trace.timer_seconds_by_name name))
+            p
+            (Trace.timer_count_by_name name)
+      | Trace.Hist -> bprint_prom_hist b p (Trace.hist_snapshot_by_name name)
+      | Trace.Probe ->
+          (* event streams have no scalar exposition; the ring totals
+             already surface through trace.events_* counters *)
+          ())
+    (select ~deterministic);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshots                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bprint_hist_summary b ?(buckets = false) (s : Trace.hist_snapshot) =
+  Printf.bprintf b "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s"
+    s.Trace.hist_count (jnum s.Trace.hist_sum) (jnum s.Trace.hist_min)
+    (jnum s.Trace.hist_max);
+  List.iter
+    (fun (label, q) ->
+      Printf.bprintf b ",\"%s\":%s" label (jnum (Trace.hist_quantile_of s q)))
+    [ ("p50", 0.5); ("p90", 0.9); ("p95", 0.95); ("p99", 0.99) ];
+  if buckets then begin
+    Buffer.add_string b ",\"buckets\":[";
+    List.iteri
+      (fun i (ub, c) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "[%s,%d]" (jnum ub) c)
+      s.Trace.hist_buckets;
+    Buffer.add_char b ']'
+  end;
+  Buffer.add_char b '}'
+
+let snapshot_json ?(deterministic = false) () =
+  let metrics = select ~deterministic in
+  let b = Buffer.create 2048 in
+  let section title keep render =
+    Printf.bprintf b "\"%s\":{" title;
+    let first = ref true in
+    List.iter
+      (fun (name, kind) ->
+        if keep kind then begin
+          if !first then first := false else Buffer.add_char b ',';
+          Printf.bprintf b "\"%s\":" (json_escape name);
+          render name
+        end)
+      metrics;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  section "counters"
+    (fun k -> k = Trace.Counter)
+    (fun n -> Printf.bprintf b "%d" (Trace.value_by_name n));
+  Buffer.add_char b ',';
+  section "gauges"
+    (fun k -> k = Trace.Gauge)
+    (fun n -> Printf.bprintf b "%d" (Trace.value_by_name n));
+  Buffer.add_char b ',';
+  section "timers"
+    (fun k -> k = Trace.Timer || k = Trace.Span)
+    (fun n ->
+      Printf.bprintf b "{\"seconds\":%s,\"count\":%d}"
+        (jnum (Trace.timer_seconds_by_name n))
+        (Trace.timer_count_by_name n));
+  Buffer.add_char b ',';
+  section "histograms"
+    (fun k -> k = Trace.Hist)
+    (fun n -> bprint_hist_summary b (Trace.hist_snapshot_by_name n));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let histograms_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  let first = ref true in
+  List.iter
+    (fun (name, kind) ->
+      match (kind : Trace.metric_kind) with
+      | Trace.Hist ->
+          if !first then first := false else Buffer.add_char b ',';
+          Printf.bprintf b "\"%s\":" (json_escape name);
+          bprint_hist_summary b ~buckets:true (Trace.hist_snapshot_by_name name)
+      | _ -> ())
+    (Trace.registry ());
+  Buffer.add_char b '}';
+  Buffer.contents b

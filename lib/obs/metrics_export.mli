@@ -1,0 +1,40 @@
+(** Wire-format renderers over the full {!Flexile_util.Trace} registry:
+    Prometheus text exposition and one-line JSON snapshots (a JSONL
+    time series when written once per monitoring step).
+
+    Pure string builders over quiescent-point reads — call only when
+    no instrumented work is in flight.
+
+    With [deterministic] (default [false]) the output is restricted to
+    metrics that are pure functions of the seeded work: counters
+    (minus the [gc.*] family) and value-distribution histograms (minus
+    the wall-clock ones, by the [*_seconds] naming convention); gauges,
+    timers, spans and probes are dropped.  This subset is what makes
+    [flexile monitor] artifacts byte-identical across invocations. *)
+
+val deterministic_metric : string * Flexile_util.Trace.metric_kind -> bool
+(** The filter described above, exposed for tests. *)
+
+val prom_name : string -> string
+(** Registry name to Prometheus metric name: [flexile_] prefix, every
+    character outside [[a-zA-Z0-9_:]] mapped to [_]. *)
+
+val prometheus : ?deterministic:bool -> unit -> string
+(** The registry as Prometheus text exposition format: counters as
+    [<name>_total], gauges as plain samples, timers and spans as
+    summaries ([<name>_seconds_sum] / [<name>_seconds_count]),
+    histograms with cumulative [<name>_bucket{le="..."}] lines, a
+    [le="+Inf"] bucket and [_sum] / [_count].  Probes are skipped.
+    Each family is preceded by its [# TYPE] line. *)
+
+val snapshot_json : ?deterministic:bool -> unit -> string
+(** One-line JSON object
+    [{"counters":{..},"gauges":{..},"timers":{..},"histograms":{..}}]
+    (spans are folded into [timers]; histogram entries carry
+    count/sum/min/max and p50/p90/p95/p99).  Non-finite numbers
+    serialize as [null].  Suitable as one JSONL record. *)
+
+val histograms_json : unit -> string
+(** Just the histograms, unfiltered, with their raw (non-cumulative)
+    [(upper bound, count)] bucket lists included — the ["histograms"]
+    section embedded by [bench --json]. *)

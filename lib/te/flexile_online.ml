@@ -8,7 +8,12 @@ let sp_scenario = Trace.span "online.scenario"
 let sp_critical = Trace.span "online.critical-alloc"
 let sp_maxmin = Trace.span "online.maxmin-loss"
 
+(* per-scenario allocation latency distribution: what an operator
+   watching the online controller's reaction time would alert on *)
+let h_scenario = Trace.hist "online.scenario_seconds"
+
 let allocate inst ~sid ~critical ~offline_loss =
+  Trace.observe_duration h_scenario @@ fun () ->
   Trace.in_span ~arg:sid sp_scenario @@ fun () ->
   let class_order =
     List.init (Array.length inst.Instance.classes) (fun k -> k)

@@ -8,6 +8,10 @@ let c_kept = Trace.counter "engine.scenarios_kept"
 let sp_sweep = Trace.span "engine.sweep"
 let sp_merge = Trace.span "engine.merge"
 
+(* distribution of per-(flow, scenario) delivered loss across every
+   sweep — the raw material of the FlowLoss percentile objective *)
+let h_flow_loss = Trace.hist "engine.flow_loss"
+
 let sweep ?jobs inst ~init ~f =
   Trace.incr c_sweeps;
   Trace.add c_scenarios (Instance.nscenarios inst);
@@ -32,7 +36,10 @@ let sweep_losses ?jobs inst ~f =
   Array.iteri
     (fun sid results ->
       List.iter
-        (fun (fid, v) -> losses.(fid).(sid) <- Float.max 0. (Float.min 1. v))
+        (fun (fid, v) ->
+          let v = Float.max 0. (Float.min 1. v) in
+          Trace.observe h_flow_loss v;
+          losses.(fid).(sid) <- v)
         results)
     per_sid;
   Array.iter

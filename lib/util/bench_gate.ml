@@ -5,7 +5,13 @@
    unit-testable on synthetic baselines. *)
 
 let schema = "flexile-bench-baseline"
-let version = 1
+
+(* v2: `bench --json` documents gained a "histograms" extra section
+   (per-name quantile summaries) alongside "trace".  The phase schema
+   the gate reads is unchanged, and [of_json] accepts any version <=
+   [version], so committed v1 baselines (BENCH_PR3.json) stay
+   readable; only files from a *newer* writer are rejected. *)
+let version = 2
 
 type phase = { pname : string; median_seconds : float }
 

@@ -4,7 +4,13 @@
     pass/fail logic is unit-testable on synthetic baselines. *)
 
 val schema : string
+
 val version : int
+(** Current writer version (2).  v2 marks the addition of the
+    ["histograms"] extra section to [bench --json] documents; the
+    phase layout the gate compares is unchanged since v1, and
+    {!of_json} reads any version up to [version] (v1 baselines such
+    as [BENCH_PR3.json] stay loadable). *)
 
 type phase = { pname : string; median_seconds : float }
 

@@ -7,6 +7,10 @@ let t_busy = Trace.timer "parallel.worker_busy"
 let g_imbalance = Trace.gauge "parallel.imbalance_permille"
 let sp_shard = Trace.span "parallel.shard"
 
+(* per-worker shard wall-time distribution: the spread (p50 vs p99)
+   is the straggler signal the imbalance gauge only summarizes *)
+let h_shard = Trace.hist "parallel.shard_seconds"
+
 let env_jobs () =
   match Sys.getenv_opt "FLEXILE_JOBS" with
   | None -> None
@@ -209,7 +213,8 @@ let parallel_map pool ~n ~init ~f =
       Trace.in_span ~arg:w sp_shard (fun () -> task w);
       let dt = Int64.sub (Trace.now_ns ()) t0 in
       busy.(w) <- dt;
-      Trace.add_ns t_busy dt
+      Trace.add_ns t_busy dt;
+      Trace.observe h_shard (Int64.to_float dt *. 1e-9)
   in
   run_tasks pool task;
   if tracing then begin

@@ -3,7 +3,9 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 1. then invalid_arg "Stats.percentile: p out of range";
   let s = Array.copy xs in
-  Array.sort compare s;
+  (* Float.compare, not polymorphic compare: total over NaN and free
+     of the generic-compare dispatch on a float array *)
+  Array.sort Float.compare s;
   (* smallest v with fraction(<= v) >= p *)
   let k = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
   let k = max 0 (min (n - 1) k) in
@@ -13,7 +15,7 @@ let median xs = percentile xs 0.5
 
 let sort_by_value samples =
   let s = Array.copy samples in
-  Array.sort (fun (a, _) (b, _) -> compare a b) s;
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) s;
   s
 
 let weighted_var samples ~beta =
@@ -23,10 +25,11 @@ let weighted_var samples ~beta =
   let result = ref None in
   Array.iter
     (fun (v, p) ->
-      if !result = None then begin
-        acc := !acc +. p;
-        if !acc >= beta -. 1e-12 then result := Some v
-      end)
+      match !result with
+      | Some _ -> ()
+      | None ->
+          acc := !acc +. p;
+          if !acc >= beta -. 1e-12 then result := Some v)
     s;
   match !result with
   | Some v -> v

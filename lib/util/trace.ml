@@ -30,7 +30,7 @@ let env_disabled () = env_setting = Some false
 (* Name registry                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type kind = K_counter | K_gauge | K_timer | K_probe | K_span
+type kind = K_counter | K_gauge | K_timer | K_probe | K_span | K_hist
 
 let reg_m = Mutex.create ()
 let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 64
@@ -72,6 +72,56 @@ let ring_capacity = 4096
    its span forest. *)
 let span_capacity = 65536
 
+(* Histogram geometry: log-linear (HDR-style) buckets.  Positive
+   values are split into binary octaves of [hist_sub] linear
+   sub-buckets each, so the relative width of any bucket is at most
+   1/hist_sub of its octave (~6.25% at 16): a quantile read off a
+   bucket's upper bound over-estimates the true sample quantile by
+   less than that.  Slot 0 collects zero, negative and NaN
+   observations; the octave range covers [2^-31, 2^34) (~5e-10 to
+   ~1.7e10), which spans sub-nanosecond latencies in seconds up to
+   iteration counts in the billions; values outside clamp to the
+   nearest finite bucket. *)
+let hist_sub = 16
+let hist_min_exp = -30
+let hist_max_exp = 34
+let hist_octaves = hist_max_exp - hist_min_exp + 1
+let hist_nbuckets = 1 + (hist_octaves * hist_sub)
+let hist_upper_limit = Float.ldexp 1. hist_max_exp
+
+let hist_bucket_index v =
+  if not (v > 0.) then 0 (* zero, negative, NaN *)
+  else if not (v < hist_upper_limit) then hist_nbuckets - 1
+  else begin
+    let m, e = Float.frexp v in
+    (* v = m * 2^e with m in [0.5, 1) *)
+    let o = e - hist_min_exp in
+    if o < 0 then 1
+    else begin
+      let sub = int_of_float ((m -. 0.5) *. float_of_int (2 * hist_sub)) in
+      let sub = if sub >= hist_sub then hist_sub - 1 else max 0 sub in
+      1 + (o * hist_sub) + sub
+    end
+  end
+
+(* Inclusive-exclusive [lower, upper) buckets; the reported bound of a
+   bucket is its upper limit (0 for the nonpositive slot). *)
+let hist_bucket_upper i =
+  if i = 0 then 0.
+  else
+    let o = (i - 1) / hist_sub and sub = (i - 1) mod hist_sub in
+    Float.ldexp
+      (0.5 +. (float_of_int (sub + 1) /. float_of_int (2 * hist_sub)))
+      (hist_min_exp + o)
+
+type hist_state = {
+  hcounts : int array;  (* by bucket index *)
+  mutable hcount : int;
+  mutable hsum : float;  (* finite observations only *)
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
 type frame = {
   fr_id : int;  (* registered span id *)
   fr_arg : int;
@@ -109,6 +159,7 @@ type dom_state = {
   mutable sp_records : raw_span list;  (* completed, newest first *)
   mutable sp_count : int;
   mutable sp_dropped : int;
+  mutable hists : hist_state option array;  (* by id, allocated lazily *)
 }
 
 let states_m = Mutex.create ()
@@ -130,6 +181,7 @@ let new_state () =
       sp_records = [];
       sp_count = 0;
       sp_dropped = 0;
+      hists = Array.make 16 None;
     }
   in
   Mutex.lock states_m;
@@ -299,6 +351,136 @@ let events_dropped () =
   List.fold_left
     (fun acc st -> acc + max 0 (st.ev_seq - ring_capacity))
     0 (snapshot_states ())
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type hist = int
+
+let hist name = register name K_hist
+
+let ensure_hist st id =
+  let len = Array.length st.hists in
+  if id >= len then begin
+    let a = Array.make (max (id + 1) (2 * len)) None in
+    Array.blit st.hists 0 a 0 len;
+    st.hists <- a
+  end;
+  match st.hists.(id) with
+  | Some hs -> hs
+  | None ->
+      let hs =
+        {
+          hcounts = Array.make hist_nbuckets 0;
+          hcount = 0;
+          hsum = 0.;
+          hmin = infinity;
+          hmax = neg_infinity;
+        }
+      in
+      st.hists.(id) <- Some hs;
+      hs
+
+let observe h v =
+  if !enabled_flag then begin
+    let st = my_state () in
+    let hs = ensure_hist st h in
+    let idx = hist_bucket_index v in
+    hs.hcounts.(idx) <- hs.hcounts.(idx) + 1;
+    hs.hcount <- hs.hcount + 1;
+    if not (Float.is_nan v) then begin
+      hs.hsum <- hs.hsum +. v;
+      if v < hs.hmin then hs.hmin <- v;
+      if v > hs.hmax then hs.hmax <- v
+    end
+  end
+
+let observe_duration h f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_ns () in
+    let fin () =
+      observe h (Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9)
+    in
+    match f () with
+    | v ->
+        fin ();
+        v
+    | exception e ->
+        fin ();
+        raise e
+  end
+
+type hist_snapshot = {
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float;
+  hist_max : float;
+  hist_buckets : (float * int) list;
+}
+
+(* Cross-domain merge: bucket counts are integer sums, so the merged
+   distribution (and every quantile read from it) is identical to what
+   a sequential run observing the same multiset would produce; domain
+   states are visited in sorted-id order so the float [hist_sum] is
+   also reproducible for a fixed job count. *)
+let hist_snapshot h =
+  let counts = Array.make hist_nbuckets 0 in
+  let count = ref 0
+  and sum = ref 0.
+  and mn = ref infinity
+  and mx = ref neg_infinity in
+  List.iter
+    (fun st ->
+      if h < Array.length st.hists then
+        match st.hists.(h) with
+        | None -> ()
+        | Some hs ->
+            Array.iteri
+              (fun i c -> if c > 0 then counts.(i) <- counts.(i) + c)
+              hs.hcounts;
+            count := !count + hs.hcount;
+            sum := !sum +. hs.hsum;
+            if hs.hmin < !mn then mn := hs.hmin;
+            if hs.hmax > !mx then mx := hs.hmax)
+    (snapshot_states ());
+  let buckets = ref [] in
+  for i = hist_nbuckets - 1 downto 0 do
+    if counts.(i) > 0 then buckets := (hist_bucket_upper i, counts.(i)) :: !buckets
+  done;
+  let empty = !mn > !mx in
+  {
+    hist_count = !count;
+    hist_sum = !sum;
+    hist_min = (if empty then Float.nan else !mn);
+    hist_max = (if empty then Float.nan else !mx);
+    hist_buckets = !buckets;
+  }
+
+let hist_quantile_of s q =
+  if s.hist_count = 0 then Float.nan
+  else if q >= 1. then s.hist_max
+  else begin
+    let q = if q < 0. then 0. else q in
+    (* smallest recorded bucket whose cumulative count reaches the
+       rank — the same "smallest v with fraction(<= v) >= q"
+       convention as Stats.percentile *)
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int s.hist_count))) in
+    let rec walk cum = function
+      | [] -> s.hist_max
+      | (upper, c) :: rest ->
+          let cum = cum + c in
+          (* a bucket's upper bound over-estimates by < 1/hist_sub;
+             clamping to the exact maximum makes single-valued and
+             top-quantile reads exact *)
+          if cum >= rank then Float.min upper s.hist_max else walk cum rest
+    in
+    walk 0 s.hist_buckets
+  end
+
+let hist_quantile h q = hist_quantile_of (hist_snapshot h) q
+let hist_count h = (hist_snapshot h).hist_count
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchical spans                                                  *)
@@ -488,6 +670,25 @@ let span_trees () =
 (* Aggregated reads, reset, JSON                                       *)
 (* ------------------------------------------------------------------ *)
 
+type metric_kind = Counter | Gauge | Timer | Probe | Span | Hist
+
+let metric_kind_of_kind = function
+  | K_counter -> Counter
+  | K_gauge -> Gauge
+  | K_timer -> Timer
+  | K_probe -> Probe
+  | K_span -> Span
+  | K_hist -> Hist
+
+let registry () =
+  Mutex.lock reg_m;
+  let l =
+    Array.to_list
+      (Array.map (fun (name, k) -> (name, metric_kind_of_kind k)) !reg_names)
+  in
+  Mutex.unlock reg_m;
+  List.sort compare l
+
 let value_by_name name =
   match lookup name with
   | Some id -> (
@@ -497,8 +698,23 @@ let value_by_name name =
       | _ -> 0)
   | None -> 0
 
+let hist_snapshot_by_name name =
+  match lookup name with
+  | Some id -> hist_snapshot id
+  | None ->
+      {
+        hist_count = 0;
+        hist_sum = 0.;
+        hist_min = Float.nan;
+        hist_max = Float.nan;
+        hist_buckets = [];
+      }
+
 let timer_seconds_by_name name =
   match lookup name with Some id -> timer_seconds id | None -> 0.
+
+let timer_count_by_name name =
+  match lookup name with Some id -> timer_count id | None -> 0
 
 let reset () =
   List.iter
@@ -511,7 +727,17 @@ let reset () =
       st.sp_seq <- 0;
       st.sp_records <- [];
       st.sp_count <- 0;
-      st.sp_dropped <- 0)
+      st.sp_dropped <- 0;
+      Array.iter
+        (function
+          | None -> ()
+          | Some hs ->
+              Array.fill hs.hcounts 0 hist_nbuckets 0;
+              hs.hcount <- 0;
+              hs.hsum <- 0.;
+              hs.hmin <- infinity;
+              hs.hmax <- neg_infinity)
+        st.hists)
     (snapshot_states ())
 
 let json_escape s =
@@ -564,6 +790,18 @@ let to_json () =
   obj "spans" K_span (fun id ->
       Printf.bprintf b "{\"seconds\":%.6f,\"count\":%d}" (timer_seconds id)
         (timer_count id));
+  Buffer.add_char b ',';
+  (* non-finite summary fields (empty histogram) serialize as null *)
+  let jnum v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null" in
+  obj "histograms" K_hist (fun id ->
+      let s = hist_snapshot id in
+      Printf.bprintf b
+        "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s}"
+        s.hist_count (jnum s.hist_sum) (jnum s.hist_min) (jnum s.hist_max)
+        (jnum (hist_quantile_of s 0.50))
+        (jnum (hist_quantile_of s 0.90))
+        (jnum (hist_quantile_of s 0.95))
+        (jnum (hist_quantile_of s 0.99)));
   Printf.bprintf b
     ",\"span_records\":{\"logged\":%d,\"dropped\":%d},\"events\":{\"logged\":%d,\"dropped\":%d}}"
     (spans_logged ()) (spans_dropped ()) (events_logged ()) (events_dropped ());

@@ -115,6 +115,60 @@ val events : unit -> event_record list
 val events_logged : unit -> int
 val events_dropped : unit -> int
 
+(** {1 Histograms}
+
+    Per-domain log-bucketed (HDR-style) distribution recorders: the
+    positive axis is split into binary octaves of 16 linear
+    sub-buckets, so any bucket is at most ~6.25% wide relative to its
+    value, and a quantile read off a bucket's upper bound
+    over-estimates the true sample quantile by less than that.  Slot 0
+    collects zero, negative and NaN observations; the finite range
+    covers [2^-31, 2^34) and clamps outside it.  The hot-path
+    {!observe} touches only the calling domain's count array (no
+    locks, no allocation after the first observation), and costs one
+    load-and-branch when tracing is disabled.
+
+    Merging at quiescent points sums the per-domain integer bucket
+    counts, so the merged distribution — and every quantile — is
+    deterministic: identical to a sequential run observing the same
+    multiset, for any job count. *)
+
+type hist
+
+val hist : string -> hist
+
+val observe : hist -> float -> unit
+(** Record one observation into the calling domain's recorder. *)
+
+val observe_duration : hist -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its monotonic-clock duration in {e
+    seconds}.  Exceptions propagate after the observation; one branch
+    and a tail call when disabled. *)
+
+type hist_snapshot = {
+  hist_count : int;  (** observations, NaN included *)
+  hist_sum : float;  (** sum of the finite observations *)
+  hist_min : float;  (** exact; [nan] when no finite observation *)
+  hist_max : float;  (** exact; [nan] when no finite observation *)
+  hist_buckets : (float * int) list;
+      (** non-empty buckets, ascending: [(upper bound, count)].
+          Buckets are [lower, upper); the nonpositive slot reports
+          bound 0. *)
+}
+
+val hist_snapshot : hist -> hist_snapshot
+(** Merged over all domains.  Quiescent-point read. *)
+
+val hist_quantile_of : hist_snapshot -> float -> float
+(** [hist_quantile_of s q] with [q] in [0,1]: the upper bound of the
+    smallest bucket holding at least a fraction [q] of the
+    observations (clamped to the exact maximum, so [q >= 1] and
+    single-valued histograms are exact).  [nan] when empty;
+    nondecreasing in [q]. *)
+
+val hist_quantile : hist -> float -> float
+val hist_count : hist -> int
+
 (** {1 Hierarchical spans}
 
     Where timers only accumulate totals, spans additionally record the
@@ -190,11 +244,25 @@ val spans_open : unit -> int
 
 (** {1 Aggregated reads and reporting} *)
 
+type metric_kind = Counter | Gauge | Timer | Probe | Span | Hist
+
+val registry : unit -> (string * metric_kind) list
+(** Every registered metric name with its kind, sorted by name — the
+    enumeration the exporters ({!Trace_export},
+    [Flexile_obs.Metrics_export]) render. *)
+
 val value_by_name : string -> int
 (** Counter or gauge value by registered name; [0] for unknown names. *)
 
+val hist_snapshot_by_name : string -> hist_snapshot
+(** Empty snapshot for unknown names. *)
+
 val timer_seconds_by_name : string -> float
 (** [0.] for unknown names. *)
+
+val timer_count_by_name : string -> int
+(** Span count of a timer or span by registered name; [0] for unknown
+    names. *)
 
 val reset : unit -> unit
 (** Zero every counter, gauge, timer and event ring in every registered
@@ -205,7 +273,10 @@ val to_json : unit -> string
     [{"enabled":bool,"counters":{..},"gauges":{..},
       "timers":{name:{"seconds":s,"count":n},..},
       "spans":{name:{"seconds":s,"count":n},..},
+      "histograms":{name:{"count":n,"sum":s,"min":m,"max":M,
+                          "p50":..,"p90":..,"p95":..,"p99":..},..},
       "span_records":{"logged":n,"dropped":n},
       "events":{"logged":n,"dropped":n}}]
     with keys sorted by name — the {e full} metric registry, every
-    module's counters included. *)
+    module's counters included.  Non-finite histogram summary fields
+    (empty recorder) serialize as [null]. *)

@@ -57,8 +57,15 @@ let report_json ?(derived = []) () =
     derived;
   (* [report] is the full registry — every module's counters, gauges,
      timers and span totals, not just the offline solver's *)
-  Printf.bprintf b "},\"report\":%s,\"span_tree\":%s}" (Trace.to_json ())
+  Printf.bprintf b "},\"report\":%s,\"span_tree\":%s" (Trace.to_json ())
     (span_tree_json ());
+  (* ring/record saturation at top level: a nonzero drop count means
+     the span_tree above (and the event stream) is truncated — silent
+     truncation would read as "nothing else happened" *)
+  Printf.bprintf b
+    ",\"drops\":{\"events_logged\":%d,\"events_dropped\":%d,\"span_records_logged\":%d,\"span_records_dropped\":%d,\"spans_open\":%d}}"
+    (Trace.events_logged ()) (Trace.events_dropped ()) (Trace.spans_logged ())
+    (Trace.spans_dropped ()) (Trace.spans_open ());
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)

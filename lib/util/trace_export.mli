@@ -3,12 +3,17 @@
 val report_json : ?derived:(string * float) list -> unit -> string
 (** The structured report written by [flexile --trace] and embedded by
     [bench --json]:
-    [{"derived":{..}, "report":<full registry>, "span_tree":[..]}].
+    [{"derived":{..}, "report":<full registry>, "span_tree":[..],
+      "drops":{..}}].
     [report] is {!Trace.to_json} — {e every} registered counter, gauge,
-    timer and span total, across all instrumented modules; [derived]
-    carries caller-computed summary ratios; [span_tree] is the nested
-    span forest ([{"name","arg","dom","t0_ns","dur_ns","minor_words",
-    "major_words","children":[..]}]). *)
+    timer, histogram and span total, across all instrumented modules;
+    [derived] carries caller-computed summary ratios; [span_tree] is
+    the nested span forest ([{"name","arg","dom","t0_ns","dur_ns",
+    "minor_words","major_words","children":[..]}]); [drops] surfaces
+    ring/record saturation ([events_logged], [events_dropped],
+    [span_records_logged], [span_records_dropped], [spans_open]) so a
+    truncated span tree or event stream is visible rather than
+    silent. *)
 
 val span_tree_json : unit -> string
 (** Just the [span_tree] array. *)

@@ -1,0 +1,296 @@
+(* Tests of the Flexile_obs layer: exact reconciliation of the SLO
+   tracker with the offline percentile analysis, burn-rate window
+   semantics, and the shape of the Prometheus / JSON exports. *)
+
+module Trace = Flexile_util.Trace
+module Json = Flexile_util.Json
+module Export = Flexile_obs.Metrics_export
+module Slo = Flexile_obs.Slo
+module Instance = Flexile_te.Instance
+module Metrics = Flexile_te.Metrics
+module Offline = Flexile_te.Flexile_offline
+module Online = Flexile_te.Flexile_online
+
+let with_tracing enabled f =
+  let was = Trace.enabled () in
+  Trace.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was) f
+
+let promises inst losses =
+  Array.init (Array.length inst.Instance.classes) (fun k ->
+      Metrics.perc_loss inst losses ~cls:k ())
+
+(* ---- Slo reconciles exactly with Metrics.perc_loss ---- *)
+
+let test_slo_reconciles () =
+  let inst = Flexile_core.Builder.fig1 () in
+  let off = Offline.solve inst in
+  let online = Online.run inst ~offline:off in
+  let promised = promises inst off.Offline.best.Offline.losses in
+  let slo = Slo.create ~promised inst in
+  for sid = 0 to Instance.nscenarios inst - 1 do
+    let losses =
+      Array.init (Instance.nflows inst) (fun fid -> online.(fid).(sid))
+    in
+    Slo.observe slo ~sid ~losses
+  done;
+  Alcotest.(check int)
+    "every scenario seen"
+    (Instance.nscenarios inst)
+    (Slo.scenarios_seen slo);
+  Array.iteri
+    (fun k _ ->
+      let direct = Metrics.perc_loss inst online ~cls:k () in
+      let tracked = Slo.observed_attainment slo ~cls:k in
+      if Float.abs (direct -. tracked) > 1e-9 then
+        Alcotest.failf "class %d: Slo %.12f vs Metrics %.12f" k tracked direct)
+    inst.Instance.classes
+
+(* partial coverage must be conservative: unobserved scenarios stay at
+   the matrix's initial loss of 1.0 *)
+let test_slo_partial_is_conservative () =
+  let inst = Flexile_core.Builder.fig1 () in
+  let off = Offline.solve inst in
+  let online = Online.run inst ~offline:off in
+  let promised = promises inst off.Offline.best.Offline.losses in
+  let slo = Slo.create ~promised inst in
+  Slo.observe slo ~sid:0
+    ~losses:(Array.init (Instance.nflows inst) (fun fid -> online.(fid).(0)));
+  Array.iteri
+    (fun k _ ->
+      let direct = Metrics.perc_loss inst online ~cls:k () in
+      if Slo.observed_attainment slo ~cls:k < direct -. 1e-12 then
+        Alcotest.failf "class %d: partial coverage under-reported" k)
+    inst.Instance.classes
+
+(* ---- burn-rate window ---- *)
+
+let test_burn_rate_window () =
+  let inst = Flexile_core.Builder.fig1 () in
+  let nk = Array.length inst.Instance.classes in
+  let zeros = Array.make (Instance.nflows inst) 0. in
+  (* impossible promise: every draw violates *)
+  let slo = Slo.create ~window:4 ~promised:(Array.make nk (-1.)) inst in
+  for _ = 1 to 6 do
+    Slo.observe slo ~sid:0 ~losses:zeros
+  done;
+  let r = Slo.class_report slo ~cls:0 in
+  Alcotest.(check int) "window saturates" 4 r.Slo.rwindow_len;
+  Alcotest.(check int) "all window draws bad" 4 r.Slo.rwindow_bad;
+  Alcotest.(check int) "all draws bad" 6 r.Slo.rbad_draws;
+  let beta = inst.Instance.classes.(0).Instance.beta in
+  Alcotest.(check (float 1e-9))
+    "burn = bad fraction over error budget"
+    (1. /. (1. -. beta))
+    r.Slo.rburn_rate;
+  (* generous promise: no violations, burn 0 *)
+  let ok = Slo.create ~window:4 ~promised:(Array.make nk 1.) inst in
+  for _ = 1 to 3 do
+    Slo.observe ok ~sid:0 ~losses:zeros
+  done;
+  Alcotest.(check (float 0.)) "no violations, no burn" 0.
+    (Slo.class_report ok ~cls:0).Slo.rburn_rate;
+  (* a draw outside the enumerated set burns every class *)
+  Slo.observe_unenumerated ok;
+  let r = Slo.class_report ok ~cls:0 in
+  Alcotest.(check int) "unenumerated draw counted" 4 r.Slo.rwindow_len;
+  Alcotest.(check int) "unenumerated draw is bad" 1 r.Slo.rwindow_bad;
+  Alcotest.(check int) "tracked separately" 1 (Slo.unenumerated_draws ok)
+
+let test_slo_report_json_parses () =
+  let inst = Flexile_core.Builder.fig1 () in
+  let nk = Array.length inst.Instance.classes in
+  let slo = Slo.create ~promised:(Array.make nk 0.5) inst in
+  Slo.observe slo ~sid:0 ~losses:(Array.make (Instance.nflows inst) 0.);
+  match Json.parse (Slo.report_json slo) with
+  | Error e -> Alcotest.failf "report_json does not parse: %s" e
+  | Ok j ->
+      Alcotest.(check (option int))
+        "draws field" (Some 1)
+        (Option.bind (Json.member "draws" j) Json.to_int);
+      let classes =
+        Option.bind (Json.member "classes" j) Json.to_list
+        |> Option.value ~default:[]
+      in
+      Alcotest.(check int) "one entry per class" nk (List.length classes)
+
+(* ---- Prometheus exposition ---- *)
+
+let is_prom_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       s
+
+let test_prometheus_shape () =
+  with_tracing true @@ fun () ->
+  let c = Trace.counter "test.obs_counter" in
+  let h = Trace.hist "test.obs_hist" in
+  Trace.incr c;
+  List.iter (Trace.observe h) [ 0.1; 0.5; 1.0; 2.0; 100.; 0. ];
+  let page = Export.prometheus () in
+  let lines =
+    String.split_on_char '\n' page |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then Alcotest.fail "empty exposition";
+  List.iter
+    (fun line ->
+      if not (String.starts_with ~prefix:"# TYPE " line) then begin
+        (* sample line: <name>[{le="..."}] <value> *)
+        let name =
+          match String.index_opt line '{' with
+          | Some i -> String.sub line 0 i
+          | None -> (
+              match String.index_opt line ' ' with
+              | Some i -> String.sub line 0 i
+              | None -> line)
+        in
+        if not (is_prom_name name) then
+          Alcotest.failf "invalid metric name in %S" line;
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "no value in %S" line
+        | Some i -> (
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            match float_of_string_opt v with
+            | Some _ -> ()
+            | None ->
+                if v <> "NaN" && v <> "+Inf" && v <> "-Inf" then
+                  Alcotest.failf "unparseable value %S in %S" v line)
+      end)
+    lines;
+  (* histogram family invariants: cumulative buckets, +Inf == count *)
+  let fam = "flexile_test_obs_hist" in
+  let samples =
+    List.filter (String.starts_with ~prefix:(fam ^ "_")) lines
+  in
+  let value line =
+    let i = String.rindex line ' ' in
+    float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+  in
+  let buckets =
+    List.filter (String.starts_with ~prefix:(fam ^ "_bucket{")) samples
+  in
+  if List.length buckets < 2 then Alcotest.fail "expected bucket lines";
+  let counts = List.map value buckets in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  if not (nondecreasing counts) then Alcotest.fail "buckets not cumulative";
+  let count_line =
+    List.find (String.starts_with ~prefix:(fam ^ "_count ")) samples
+  in
+  let inf_line =
+    List.find
+      (String.starts_with ~prefix:(fam ^ "_bucket{le=\"+Inf\"}"))
+      samples
+  in
+  Alcotest.(check (float 0.))
+    "+Inf bucket equals count" (value count_line) (value inf_line);
+  Alcotest.(check (float 0.)) "count is 6" 6. (value count_line)
+
+let test_prom_name () =
+  Alcotest.(check string)
+    "dots map to underscores" "flexile_simplex_iterations_per_solve"
+    (Export.prom_name "simplex.iterations_per_solve")
+
+(* ---- deterministic filter ---- *)
+
+let test_deterministic_filter () =
+  let keep = Export.deterministic_metric in
+  if not (keep ("simplex.iterations", Trace.Counter)) then
+    Alcotest.fail "plain counters are deterministic";
+  if keep ("gc.minor_words", Trace.Counter) then
+    Alcotest.fail "gc counters are not deterministic";
+  if not (keep ("engine.flow_loss", Trace.Hist)) then
+    Alcotest.fail "value histograms are deterministic";
+  if keep ("online.scenario_seconds", Trace.Hist) then
+    Alcotest.fail "duration histograms are wall-clock";
+  List.iter
+    (fun k ->
+      if keep ("anything", k) then
+        Alcotest.fail "gauges/timers/spans/probes are wall-clock")
+    [ Trace.Gauge; Trace.Timer; Trace.Span; Trace.Probe ];
+  with_tracing true @@ fun () ->
+  let _ = Trace.hist "test.filter_seconds" in
+  let page = Export.prometheus ~deterministic:true () in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let found = ref false in
+    for i = 0 to h - n do
+      if String.sub hay i n = needle then found := true
+    done;
+    !found
+  in
+  String.split_on_char '\n' page
+  |> List.iter (fun l ->
+         if String.starts_with ~prefix:"flexile_gc_" l then
+           Alcotest.failf "gc line survived the filter: %S" l);
+  if contains "test_filter_seconds" page then
+    Alcotest.fail "duration histogram survived the filter"
+
+(* ---- JSON snapshot ---- *)
+
+let test_snapshot_json_parses () =
+  with_tracing true @@ fun () ->
+  let h = Trace.hist "test.obs_snapshot_hist" in
+  List.iter (Trace.observe h) [ 1.; 2.; 3. ];
+  match Json.parse (Export.snapshot_json ()) with
+  | Error e -> Alcotest.failf "snapshot_json does not parse: %s" e
+  | Ok j ->
+      List.iter
+        (fun section ->
+          match Json.member section j with
+          | Some (Json.Object _) -> ()
+          | _ -> Alcotest.failf "missing section %s" section)
+        [ "counters"; "gauges"; "timers"; "histograms" ];
+      let entry =
+        Option.bind (Json.member "histograms" j) (fun hs ->
+            Json.member "test.obs_snapshot_hist" hs)
+      in
+      (match entry with
+      | None -> Alcotest.fail "histogram entry missing"
+      | Some e ->
+          Alcotest.(check (option int))
+            "count" (Some 3)
+            (Option.bind (Json.member "count" e) Json.to_int);
+          List.iter
+            (fun f ->
+              if Option.is_none (Json.member f e) then
+                Alcotest.failf "missing field %s" f)
+            [ "sum"; "min"; "max"; "p50"; "p90"; "p95"; "p99" ]);
+      (* histograms_json additionally carries raw bucket lists *)
+      (match Json.parse (Export.histograms_json ()) with
+      | Error e -> Alcotest.failf "histograms_json does not parse: %s" e
+      | Ok hj -> (
+          match
+            Option.bind (Json.member "test.obs_snapshot_hist" hj) (fun e ->
+                Json.member "buckets" e)
+          with
+          | Some (Json.Array (_ :: _)) -> ()
+          | _ -> Alcotest.fail "bucket list missing"))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "flexile_obs"
+    [
+      ( "slo",
+        [
+          quick "reconciles with Metrics.perc_loss" test_slo_reconciles;
+          quick "partial coverage conservative" test_slo_partial_is_conservative;
+          quick "burn-rate window" test_burn_rate_window;
+          quick "report_json parses" test_slo_report_json_parses;
+        ] );
+      ( "prometheus",
+        [
+          quick "exposition shape" test_prometheus_shape;
+          quick "name sanitization" test_prom_name;
+          quick "deterministic filter" test_deterministic_filter;
+        ] );
+      ( "json",
+        [ quick "snapshot parses with histograms" test_snapshot_json_parses ] );
+    ]

@@ -145,6 +145,122 @@ let test_json_shape () =
       then Alcotest.failf "offline trace lacks %s" s)
     [ "\"derived\""; "\"warm_start_hit_rate\""; "\"report\"" ]
 
+(* ---- histograms ---- *)
+
+let test_hist_edge_cases () =
+  with_tracing true @@ fun () ->
+  let h = Trace.hist "test.hist_edges" in
+  Trace.observe h 0.;
+  Trace.observe h (-3.);
+  Trace.observe h Float.nan;
+  Trace.observe h 1.0;
+  let s = Trace.hist_snapshot h in
+  Alcotest.(check int) "count includes nan" 4 s.Trace.hist_count;
+  (match s.Trace.hist_buckets with
+  | (ub0, c0) :: _ ->
+      Alcotest.(check (float 0.)) "nonpositive slot reports bound 0" 0. ub0;
+      Alcotest.(check int) "zero, negative and nan land in slot 0" 3 c0
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check (float 1e-12)) "sum excludes nan" (-2.) s.Trace.hist_sum;
+  Alcotest.(check (float 0.)) "min exact" (-3.) s.Trace.hist_min;
+  Alcotest.(check (float 0.)) "max exact" 1.0 s.Trace.hist_max
+
+let test_hist_bucket_bounds () =
+  with_tracing true @@ fun () ->
+  (* every in-range positive value lands in a bucket whose (exclusive)
+     upper bound is above it by at most the 1/16-octave width *)
+  List.iteri
+    (fun i v ->
+      let h = Trace.hist (Printf.sprintf "test.hist_bound_%d" i) in
+      Trace.observe h v;
+      match (Trace.hist_snapshot h).Trace.hist_buckets with
+      | [ (ub, 1) ] ->
+          if not (v < ub) then
+            Alcotest.failf "%g not below its bucket bound %g" v ub;
+          if ub > v *. 1.07 then
+            Alcotest.failf "bucket bound %g too loose for %g" ub v
+      | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs))
+    [ 0.75; 1.0; 1.0000001; 2.0; 1e9; 0.1; 3.14159 ];
+  (* below-range values clamp into the lowest positive bucket *)
+  let h = Trace.hist "test.hist_below" in
+  Trace.observe h (Float.ldexp 1. (-40));
+  (match (Trace.hist_snapshot h).Trace.hist_buckets with
+  | [ (ub, 1) ] -> if not (ub > 0.) then Alcotest.fail "clamped-low bound"
+  | _ -> Alcotest.fail "clamped-low bucket count");
+  (* above-range values clamp into the top bucket; the exact maximum
+     still comes back through the quantile clamp *)
+  let h = Trace.hist "test.hist_above" in
+  Trace.observe h 1e12;
+  Alcotest.(check (float 0.)) "q=1 reads the exact max" 1e12
+    (Trace.hist_quantile h 1.0)
+
+let test_hist_merge_deterministic () =
+  with_tracing true @@ fun () ->
+  let hp = Trace.hist "test.hist_par" in
+  let hs = Trace.hist "test.hist_seq" in
+  let n = 400 in
+  let value i = Float.of_int ((i * 7919 mod 1000) - 50) /. 37. in
+  let _ =
+    Parallel.map ~jobs:4 ~n
+      ~init:(fun _ -> ())
+      ~f:(fun () i ->
+        Trace.observe hp (value i);
+        i)
+      ()
+  in
+  for i = 0 to n - 1 do
+    Trace.observe hs (value i)
+  done;
+  let sp = Trace.hist_snapshot hp and ss = Trace.hist_snapshot hs in
+  Alcotest.(check int) "counts agree" ss.Trace.hist_count sp.Trace.hist_count;
+  Alcotest.(check (float 1e-9)) "sums agree" ss.Trace.hist_sum
+    sp.Trace.hist_sum;
+  Alcotest.(check (float 0.)) "min agrees" ss.Trace.hist_min sp.Trace.hist_min;
+  Alcotest.(check (float 0.)) "max agrees" ss.Trace.hist_max sp.Trace.hist_max;
+  if
+    not
+      (List.length sp.Trace.hist_buckets = List.length ss.Trace.hist_buckets
+      && List.for_all2
+           (fun (u1, c1) (u2, c2) -> Float.compare u1 u2 = 0 && c1 = c2)
+           sp.Trace.hist_buckets ss.Trace.hist_buckets)
+  then Alcotest.fail "parallel merge differs from sequential";
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "q=%g agrees" q)
+        (Trace.hist_quantile_of ss q)
+        (Trace.hist_quantile_of sp q))
+    [ 0.; 0.5; 0.9; 0.95; 0.99; 1. ]
+
+let test_hist_quantile_monotone () =
+  with_tracing true @@ fun () ->
+  let h = Trace.hist "test.hist_quantiles" in
+  for i = 1 to 1000 do
+    Trace.observe h (Float.of_int (i * i) /. 1e4)
+  done;
+  let s = Trace.hist_snapshot h in
+  let prev = ref Float.neg_infinity in
+  for i = 0 to 100 do
+    let q = Float.of_int i /. 100. in
+    let v = Trace.hist_quantile_of s q in
+    if v < !prev then Alcotest.failf "quantile not monotone at q=%g" q;
+    prev := v
+  done;
+  if Trace.hist_quantile_of s 1.0 > s.Trace.hist_max +. 1e-12 then
+    Alcotest.fail "quantile exceeds the tracked max";
+  (* empty histograms read as nan *)
+  let e = Trace.hist "test.hist_empty" in
+  if not (Float.is_nan (Trace.hist_quantile e 0.5)) then
+    Alcotest.fail "empty quantile should be nan"
+
+let test_hist_disabled () =
+  with_tracing false @@ fun () ->
+  let h = Trace.hist "test.hist_disabled" in
+  Trace.observe h 1.0;
+  let r = Trace.observe_duration h (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result passes through" 42 r;
+  Alcotest.(check int) "disabled records nothing" 0 (Trace.hist_count h)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "flexile_trace"
@@ -163,4 +279,12 @@ let () =
       ( "solver",
         [ quick "offline counters exact" test_flexile_counters_exact ] );
       ("json", [ quick "report shape" test_json_shape ]);
+      ( "histograms",
+        [
+          quick "zero/negative/nan edge cases" test_hist_edge_cases;
+          quick "bucket bounds tight and half-open" test_hist_bucket_bounds;
+          quick "parallel merge == sequential" test_hist_merge_deterministic;
+          quick "quantiles monotone, clamped to max" test_hist_quantile_monotone;
+          quick "disabled is a no-op" test_hist_disabled;
+        ] );
     ]
