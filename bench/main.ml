@@ -116,7 +116,78 @@ let gate_phase_order =
   [
     "instance-build"; "offline-solve"; "offline-sweep"; "offline-master";
     "online-alloc"; "scenbest-sweep"; "swan-maxmin"; "simplex-60x40";
+    "continental-mlu"; "continental-factor";
   ]
+
+(* ---- continental-scale phase ----
+
+   A 1100-node WAN min-MLU LP (~600 variables, ~2000 rows), far beyond
+   what the dense reference simplex can handle in CI time; it exists to
+   gate the sparse LU core at scale.  Tunnel selection dominates
+   instance construction, so the network half is built once and shared
+   across gate repetitions: only the LP build + solve is timed. *)
+
+let continental_pairs = 200
+
+let continental_instance =
+  lazy
+    (let g = Flexile_net.Catalog.continental () in
+     let seed = Flexile_util.Prng.of_string "flexile-bench-continental" in
+     let pairs = Flexile_net.Graph.pairs g in
+     Flexile_util.Prng.shuffle seed pairs;
+     let pairs = Array.sub pairs 0 continental_pairs in
+     Array.sort compare pairs;
+     let tunnels =
+       Array.map
+         (fun pair ->
+           Array.of_list
+             (Flexile_net.Tunnels.select_single_class g ~pair ~count:3))
+         pairs
+     in
+     let demands = Flexile_traffic.Gravity.matrix ~seed ~graph:g ~pairs in
+     (g, tunnels, demands))
+
+(* Solve the continental min-MLU LP once; returns (mu, sparse-core
+   deltas) where the deltas cover exactly this solve.  [Mlu.min_mlu]
+   raises unless the LP reaches optimality, so a non-converging sparse
+   core fails the gate loudly instead of recording a fast garbage
+   timing. *)
+let continental_solve () =
+  let g, tunnels, demands = Lazy.force continental_instance in
+  let it0 = Trace.value_by_name "simplex.iterations" in
+  let f0 = Trace.timer_seconds_by_name "simplex.factor" in
+  let eta0 = Trace.value_by_name "simplex.eta_updates" in
+  let ref0 = Trace.value_by_name "simplex.refactorizations" in
+  let t0 = Unix.gettimeofday () in
+  let mu = Flexile_te.Mlu.min_mlu ~graph:g ~tunnels ~demands in
+  let seconds = Unix.gettimeofday () -. t0 in
+  ( mu,
+    seconds,
+    Trace.timer_seconds_by_name "simplex.factor" -. f0,
+    Trace.value_by_name "simplex.iterations" - it0,
+    Trace.value_by_name "simplex.eta_updates" - eta0,
+    Trace.value_by_name "simplex.refactorizations" - ref0 )
+
+(* The sparse-core summary emitted under "sparse_core" in the gate
+   JSON: absolute pivot throughput and eta-file growth of the last
+   continental solve, plus the eta-length-at-refactorization quantiles
+   accumulated over the whole run. *)
+let sparse_core_json ~seconds ~factor_seconds ~iterations ~eta_updates
+    ~refactorizations =
+  let eta_q q =
+    try
+      Trace.hist_quantile_of
+        (Trace.hist_snapshot_by_name "simplex.eta_len_at_refactor")
+        q
+    with Not_found -> 0.
+  in
+  Printf.sprintf
+    "{\"solve_seconds\":%.6f,\"factor_seconds\":%.6f,\"iterations\":%d,\
+     \"pivots_per_sec\":%.1f,\"eta_updates\":%d,\"refactorizations\":%d,\
+     \"eta_len_at_refactor_p50\":%.1f,\"eta_len_at_refactor_p95\":%.1f}"
+    seconds factor_seconds iterations
+    (if seconds > 0. then float_of_int iterations /. seconds else 0.)
+    eta_updates refactorizations (eta_q 0.5) (eta_q 0.95)
 
 let simplex_gate_model () =
   let model = Flexile_lp.Lp_model.create () in
@@ -137,6 +208,7 @@ let simplex_gate_model () =
 
 let run_gate ~jobs ~repeat =
   let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let sparse_core = ref "{}" in
   let record name s =
     let l =
       match Hashtbl.find_opt samples name with
@@ -203,15 +275,26 @@ let run_gate ~jobs ~repeat =
            let model = simplex_gate_model () in
            for _ = 1 to 20 do
              ignore (Flexile_lp.Simplex.solve model)
-           done))
+           done));
+    let mu, seconds, factor_seconds, iterations, eta_updates, refactorizations
+        =
+      continental_solve ()
+    in
+    if not (Float.is_finite mu) then failwith "continental: non-finite MLU";
+    record "continental-mlu" seconds;
+    record "continental-factor" factor_seconds;
+    sparse_core :=
+      sparse_core_json ~seconds ~factor_seconds ~iterations ~eta_updates
+        ~refactorizations
   done;
-  List.map
-    (fun name ->
-      let l =
-        match Hashtbl.find_opt samples name with Some l -> !l | None -> []
-      in
-      (name, Bench_gate.median l))
-    gate_phase_order
+  ( List.map
+      (fun name ->
+        let l =
+          match Hashtbl.find_opt samples name with Some l -> !l | None -> []
+        in
+        (name, Bench_gate.median l))
+      gate_phase_order,
+    !sparse_core )
 
 (* ---- machine-readable dump (--json FILE) ---- *)
 
@@ -335,7 +418,7 @@ let () =
     jobs effective_jobs;
   if !gate then begin
     let repeat = if !repeat > 0 then !repeat else 3 in
-    let phases = run_gate ~jobs ~repeat in
+    let phases, sparse_core = run_gate ~jobs ~repeat in
     Printf.printf "\ngate medians over %d repetitions (jobs=%d):\n" repeat
       effective_jobs;
     List.iter
@@ -364,6 +447,7 @@ let () =
              [
                ("trace", Flexile_te.Flexile_offline.trace_json ());
                ("histograms", Flexile_obs.Metrics_export.histograms_json ());
+               ("sparse_core", sparse_core);
              ]
            measured);
       close_out oc;

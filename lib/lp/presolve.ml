@@ -168,25 +168,42 @@ let postsolve r (sol : Simplex.solution) =
     bound_term = obj -. !ydotb;
   }
 
+type row_fate = Kept of int | Dropped
+
+let row_fates r =
+  Array.map (fun ri -> if ri >= 0 then Kept ri else Dropped) r.row_map
+
+let presolved_infeasible m =
+  {
+    Simplex.status = Simplex.Infeasible;
+    obj = infinity;
+    x = Array.make (Lp_model.nvars m) 0.;
+    row_duals = Array.make (Lp_model.nrows m) 0.;
+    reduced_costs = Array.make (Lp_model.nvars m) 0.;
+    bound_term = 0.;
+    iterations = 0;
+  }
+
+let solve_reduced ?iter_limit r =
+  let sol = Simplex.solve ?iter_limit r.reduced_model in
+  if sol.Simplex.status = Simplex.Optimal then postsolve r sol
+  else
+    {
+      sol with
+      Simplex.x = Array.make (Lp_model.nvars r.original) 0.;
+      row_duals = Array.make (Lp_model.nrows r.original) 0.;
+      reduced_costs = Array.make (Lp_model.nvars r.original) 0.;
+    }
+
 let solve ?iter_limit m =
   match reduce m with
+  | Error `Infeasible -> presolved_infeasible m
+  | Ok r -> solve_reduced ?iter_limit r
+
+let solve_mapped ?iter_limit m =
+  match reduce m with
   | Error `Infeasible ->
-      {
-        Simplex.status = Simplex.Infeasible;
-        obj = infinity;
-        x = Array.make (Lp_model.nvars m) 0.;
-        row_duals = Array.make (Lp_model.nrows m) 0.;
-        reduced_costs = Array.make (Lp_model.nvars m) 0.;
-        bound_term = 0.;
-        iterations = 0;
-      }
-  | Ok r ->
-      let sol = Simplex.solve ?iter_limit r.reduced_model in
-      if sol.Simplex.status = Simplex.Optimal then postsolve r sol
-      else
-        {
-          sol with
-          Simplex.x = Array.make (Lp_model.nvars m) 0.;
-          row_duals = Array.make (Lp_model.nrows m) 0.;
-          reduced_costs = Array.make (Lp_model.nvars m) 0.;
-        }
+      (* nothing was solved: every reported dual is a placeholder, so
+         every row is flagged as eliminated *)
+      (presolved_infeasible m, Array.make (Lp_model.nrows m) Dropped)
+  | Ok r -> (solve_reduced ?iter_limit r, row_fates r)

@@ -25,10 +25,27 @@ val model : reduced -> Lp_model.t
 val stats : reduced -> string
 (** Human-readable reduction summary. *)
 
+type row_fate =
+  | Kept of int  (** survived; the payload is its row index in the reduced model *)
+  | Dropped  (** eliminated by presolve; its reported dual 0 is a placeholder *)
+
+val row_fates : reduced -> row_fate array
+(** Per original row: whether it survived into the reduced model.  A
+    [Dropped] row's postsolved dual of 0 carries no sensitivity
+    information — [Simplex.dual_bound] stays valid only for RHS changes
+    on [Kept] rows. *)
+
 val solve : ?iter_limit:int -> Lp_model.t -> Simplex.solution
 (** [solve m] = presolve, solve the reduced model, postsolve: returns a
     solution in the original variable space.  Status and objective
-    match an unreduced {!Simplex.solve} (duals are those of the reduced
-    model mapped back to surviving rows; rows eliminated by presolve
-    report dual 0, so [dual_bound] remains a valid lower bound only
-    for RHS changes on surviving rows). *)
+    match an unreduced {!Simplex.solve}; duals of the reduced model are
+    mapped back to surviving rows, and rows eliminated by presolve
+    report dual 0.  Callers that vary the RHS of possibly-eliminated
+    rows must use {!solve_mapped} to distinguish a true zero dual from
+    elimination. *)
+
+val solve_mapped :
+  ?iter_limit:int -> Lp_model.t -> Simplex.solution * row_fate array
+(** [solve] plus the per-row fate map.  When presolve itself proves
+    infeasibility (no reduced model exists), every row reports
+    [Dropped]: none of the placeholder duals is a certificate. *)

@@ -1,53 +1,32 @@
-(* Two-phase bounded-variable revised primal simplex + dual simplex.
+(* Frozen dense reference implementation of the two-phase
+   bounded-variable revised simplex (primal + dual for RHS restarts).
 
-   Computational form: the model's rows are turned into equalities
-   [A x + s = b] by adding one slack per row (coefficient +1) whose
-   bounds encode the row sense:
+   This is the pre-sparse solver kept verbatim (minus trace probes) as
+   the differential oracle for the LU/eta path in [Simplex]: set
+   FLEXILE_DENSE_SIMPLEX=1 to route [Simplex] through this module, or
+   call it directly from tests.  It maintains an explicit dense m*m
+   basis inverse, updated in O(m^2) per pivot and rebuilt by
+   Gauss-Jordan on numerical failure.  Do not extend it — new solver
+   work belongs in [Simplex]/[Sparse].
+
+   Computational form: rows become equalities [A x + s = b] with one
+   slack per row (coefficient +1) whose bounds encode the sense:
      Le -> s in [0, +inf)    Ge -> s in (-inf, 0]    Eq -> s in [0, 0]
-   One artificial column per row (also coefficient +1, so the basis
-   matrix is unchanged when an artificial replaces its slack) supports
-   the phase-1 start; artificials are fixed to [0,0] in phase 2.
+   One artificial column per row (also +1, so the basis matrix is
+   unchanged when an artificial replaces its slack) supports the
+   phase-1 start; artificials are fixed to [0,0] in phase 2.
 
    Variable layout: [0, n) structural, [n, n+m) slacks,
-   [n+m, n+2m) artificials.
-
-   The basis is held LU-factorized ([Sparse.Basis]: Markowitz-ordered
-   factorization, threshold partial pivoting) and advanced by
-   product-form eta updates per pivot; FTRAN/BTRAN run through the
-   factors, and refactorization is triggered by the eta-file length or
-   a too-small eta pivot.  Pricing is devex with partial pricing over
-   static candidate sections, falling back to Bland's rule under
-   degeneracy.  The frozen pre-sparse solver survives as
-   [Simplex_dense]; setting FLEXILE_DENSE_SIMPLEX=1 routes this module
-   through it (the differential tests compare the two paths). *)
+   [n+m, n+2m) artificials. *)
 
 let feas_tol = 1e-7
 let opt_tol = 1e-7
 let pivot_tol = 1e-9
 let degen_threshold = 120
-let src = Logs.Src.create "flexile.lp" ~doc:"LP solver"
+let src = Logs.Src.create "flexile.lp.dense" ~doc:"LP solver (dense reference)"
 
 module Log = (val Logs.src_log src : Logs.LOG)
-module Trace = Flexile_util.Trace
 module Float_cmp = Flexile_util.Float_cmp
-module Basis = Sparse.Basis
-
-(* Probes are per-solve or per-refactorization, never per-pivot: with
-   tracing disabled each costs one branch, with it enabled one
-   domain-local array write. *)
-let c_cold_solves = Trace.counter "simplex.cold_solves"
-let sp_solve = Trace.span "simplex.solve"
-let sp_resolve = Trace.span "simplex.resolve_rhs"
-let c_iterations = Trace.counter "simplex.iterations"
-let c_refactorizations = Trace.counter "simplex.refactorizations"
-let c_warm_attempts = Trace.counter "simplex.warm_attempts"
-let c_warm_hits = Trace.counter "simplex.warm_hits"
-let c_warm_fallbacks = Trace.counter "simplex.warm_fallbacks"
-let h_iterations = Trace.hist "simplex.iterations_per_solve"
-let t_factor = Trace.timer "simplex.factor"
-let c_eta_updates = Trace.counter "simplex.eta_updates"
-let c_basis_repairs = Trace.counter "simplex.basis_repairs"
-let h_eta_at_refactor = Trace.hist "simplex.eta_len_at_refactor"
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -72,7 +51,7 @@ let at_upper = 1
 let basic = 2
 let free = 3
 
-type sp = {
+type t = {
   n : int;
   m : int;
   ntot : int;
@@ -83,29 +62,10 @@ type sp = {
   b : float array; (* current rhs *)
   vstat : int array;
   bas : int array; (* length m *)
-  basis : Basis.t;
+  binv : float array array;
   xb : float array;
   xn : float array; (* bound value of each nonbasic variable *)
   mutable last_status : status option;
-  (* persistent workspaces: the pivot loops allocate nothing *)
-  w : float array; (* FTRAN column, length m *)
-  rho : float array; (* BTRAN row of B^-1, length m *)
-  y : float array; (* row duals, length m *)
-  bt : float array; (* recompute_xb scratch, length m *)
-  (* CSR mirror of the structural columns, for pivot-row products *)
-  row_start : int array; (* length m+1 *)
-  row_col : int array;
-  row_val : float array;
-  asv : Sparse.Svec.t; (* alpha = A^T rho scatter, dimension ntot *)
-  d : float array; (* reduced costs over ntot *)
-  mutable d_valid : bool;
-      (* [d] holds phase-2 reduced costs of the current basis, kept
-         exact by the optimality confirmation and maintained by the
-         dual pivots — lets a warm [resolve_rhs] skip the full rebuild *)
-  gamma : float array; (* devex reference weights over ntot *)
-  sec_size : int; (* partial-pricing section length *)
-  nsec : int;
-  mutable psec : int; (* cyclic pricing cursor *)
 }
 
 let slack_bounds sense =
@@ -114,12 +74,7 @@ let slack_bounds sense =
   | Lp_model.Ge -> (neg_infinity, 0.)
   | Lp_model.Eq -> (0., 0.)
 
-let eta_limit_env () =
-  match Sys.getenv_opt "FLEXILE_ETA_LIMIT" with
-  | Some s -> int_of_string_opt s
-  | None -> None
-
-let make_sp model =
+let make model =
   let n = Lp_model.nvars model and m = Lp_model.nrows model in
   let ntot = n + (2 * m) in
   let lo = Array.make ntot 0. and up = Array.make ntot 0. in
@@ -139,30 +94,6 @@ let make_sp model =
     up.(n + m + i) <- 0.;
     b.(i) <- Lp_model.rhs model i
   done;
-  let sec_size = max 256 ((ntot + 7) / 8) in
-  let nsec = max 1 ((ntot + sec_size - 1) / sec_size) in
-  (* transpose the CSC structural columns into CSR once *)
-  let csc = Lp_model.csc model in
-  let nnz = csc.Lp_model.col_start.(n) in
-  let row_start = Array.make (m + 1) 0 in
-  let row_col = Array.make (max 1 nnz) 0 in
-  let row_val = Array.make (max 1 nnz) 0. in
-  for k = 0 to nnz - 1 do
-    let i = csc.Lp_model.row_idx.(k) in
-    row_start.(i + 1) <- row_start.(i + 1) + 1
-  done;
-  for i = 0 to m - 1 do
-    row_start.(i + 1) <- row_start.(i + 1) + row_start.(i)
-  done;
-  let fill = Array.copy row_start in
-  for j = 0 to n - 1 do
-    for k = csc.Lp_model.col_start.(j) to csc.Lp_model.col_start.(j + 1) - 1 do
-      let i = csc.Lp_model.row_idx.(k) in
-      row_col.(fill.(i)) <- j;
-      row_val.(fill.(i)) <- csc.Lp_model.values.(k);
-      fill.(i) <- fill.(i) + 1
-    done
-  done;
   {
     n;
     m;
@@ -174,24 +105,10 @@ let make_sp model =
     b;
     vstat = Array.make ntot at_lower;
     bas = Array.make m 0;
-    basis = Basis.create ?eta_limit:(eta_limit_env ()) m;
+    binv = Array.init m (fun _ -> Array.make m 0.);
     xb = Array.make m 0.;
     xn = Array.make ntot 0.;
     last_status = None;
-    w = Array.make m 0.;
-    rho = Array.make m 0.;
-    y = Array.make m 0.;
-    bt = Array.make m 0.;
-    row_start;
-    row_col;
-    row_val;
-    asv = Sparse.Svec.create ntot;
-    d = Array.make ntot 0.;
-    d_valid = false;
-    gamma = Array.make ntot 1.;
-    sec_size;
-    nsec;
-    psec = 0;
   }
 
 (* Iterate over the (row, coefficient) entries of column [j]. *)
@@ -213,97 +130,107 @@ let col_dot st y j =
   col_iter st j (fun i a -> s := !s +. (y.(i) *. a));
   !s
 
-(* w := B^-1 A_j (FTRAN through the factors + eta file). *)
+(* w := Binv * A_j *)
 let ftran st j w =
   Array.fill w 0 st.m 0.;
-  col_iter st j (fun r a -> w.(r) <- w.(r) +. a);
-  Basis.ftran st.basis w
+  col_iter st j (fun r a ->
+      for i = 0 to st.m - 1 do
+        w.(i) <- w.(i) +. (st.binv.(i).(r) *. a)
+      done)
 
-(* y := costs_B B^-1 (BTRAN). *)
+(* y := costs_B * Binv *)
 let btran st costs y =
+  Array.fill y 0 st.m 0.;
   for k = 0 to st.m - 1 do
-    y.(k) <- costs.(st.bas.(k))
-  done;
-  Basis.btran st.basis y
-
-(* asv := A^T rho over every column (structural via the CSR mirror,
-   slack and artificial unit columns directly), visiting only the rows
-   where [rho] is nonzero.  This is the pivot-row product the pricing
-   updates and the dual ratio test need; iterating its pattern instead
-   of all [ntot] columns is what makes a pivot cost proportional to
-   the pivot row's fill. *)
-let scatter_alpha st rho =
-  let sv = st.asv in
-  Sparse.Svec.clear sv;
-  for i = 0 to st.m - 1 do
-    let ri = rho.(i) in
-    if Float_cmp.nonzero ri then begin
-      for c = st.row_start.(i) to st.row_start.(i + 1) - 1 do
-        Sparse.Svec.add sv st.row_col.(c) (ri *. st.row_val.(c))
-      done;
-      Sparse.Svec.add sv (st.n + i) ri;
-      Sparse.Svec.add sv (st.n + st.m + i) ri
+    let c = costs.(st.bas.(k)) in
+    if Float_cmp.nonzero c then begin
+      let bk = st.binv.(k) in
+      for i = 0 to st.m - 1 do
+        y.(i) <- y.(i) +. (c *. bk.(i))
+      done
     end
   done
 
 (* Recompute basic values from scratch:
-   xb = B^-1 (b - sum_{nonbasic j} A_j xn_j). *)
+   xb = Binv * (b - sum_{nonbasic j} A_j * xn_j). *)
 let recompute_xb st =
-  Array.blit st.b 0 st.bt 0 st.m;
+  let bt = Array.copy st.b in
   for j = 0 to st.ntot - 1 do
     if st.vstat.(j) <> basic && Float_cmp.nonzero st.xn.(j) then
-      col_iter st j (fun i a -> st.bt.(i) <- st.bt.(i) -. (a *. st.xn.(j)))
+      col_iter st j (fun i a -> bt.(i) <- bt.(i) -. (a *. st.xn.(j)))
   done;
-  Basis.ftran st.basis st.bt;
-  Array.blit st.bt 0 st.xb 0 st.m
+  for i = 0 to st.m - 1 do
+    let s = ref 0. and bi = st.binv.(i) in
+    for k = 0 to st.m - 1 do
+      s := !s +. (bi.(k) *. bt.(k))
+    done;
+    st.xb.(i) <- !s
+  done
 
-(* Rebuild the LU factorization of the recorded basis.  A singular or
-   numerically dependent basis is not an error: [Basis.factor] patches
-   the dependent positions with slack unit columns and we repair the
-   recorded basis to match (the evicted variable goes to a bound), then
-   let the simplex iterate onward from the repaired point. *)
+(* Rebuild Binv by Gauss-Jordan inversion of the basis matrix. *)
+exception Singular_basis
+
 let refactorize st =
-  Trace.incr c_refactorizations;
-  Trace.observe h_eta_at_refactor (float_of_int (Basis.eta_count st.basis));
-  let patched =
-    Trace.with_span t_factor @@ fun () ->
-    Basis.factor st.basis ~col:(fun pos f -> col_iter st st.bas.(pos) f)
-  in
-  List.iter
-    (fun (pos, row) ->
-      Trace.incr c_basis_repairs;
-      let q = st.bas.(pos) in
-      if st.lo.(q) > neg_infinity then begin
-        st.vstat.(q) <- at_lower;
-        st.xn.(q) <- st.lo.(q)
+  let m = st.m in
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for k = 0 to m - 1 do
+    col_iter st st.bas.(k) (fun i v -> a.(i).(k) <- v)
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1. else 0.)) in
+  for c = 0 to m - 1 do
+    (* partial pivoting *)
+    let piv_row = ref c in
+    for r = c + 1 to m - 1 do
+      if Float.abs a.(r).(c) > Float.abs a.(!piv_row).(c) then piv_row := r
+    done;
+    if Float.abs a.(!piv_row).(c) < 1e-12 then raise Singular_basis;
+    if !piv_row <> c then begin
+      let tmp = a.(c) in
+      a.(c) <- a.(!piv_row);
+      a.(!piv_row) <- tmp;
+      let tmp = inv.(c) in
+      inv.(c) <- inv.(!piv_row);
+      inv.(!piv_row) <- tmp
+    end;
+    let p = a.(c).(c) in
+    let ac = a.(c) and ic = inv.(c) in
+    for k = 0 to m - 1 do
+      ac.(k) <- ac.(k) /. p;
+      ic.(k) <- ic.(k) /. p
+    done;
+    for r = 0 to m - 1 do
+      if r <> c && Float_cmp.nonzero a.(r).(c) then begin
+        let f = a.(r).(c) in
+        let ar = a.(r) and ir = inv.(r) in
+        for k = 0 to m - 1 do
+          ar.(k) <- ar.(k) -. (f *. ac.(k));
+          ir.(k) <- ir.(k) -. (f *. ic.(k))
+        done
       end
-      else if st.up.(q) < infinity then begin
-        st.vstat.(q) <- at_upper;
-        st.xn.(q) <- st.up.(q)
-      end
-      else begin
-        st.vstat.(q) <- free;
-        st.xn.(q) <- 0.
-      end;
-      (* row was unpivoted, so its slack cannot currently be basic *)
-      let s = st.n + row in
-      st.bas.(pos) <- s;
-      st.vstat.(s) <- basic)
-    patched;
-  recompute_xb st;
-  if patched <> [] then st.d_valid <- false;
-  patched <> []
+    done
+  done;
+  for i = 0 to m - 1 do
+    Array.blit inv.(i) 0 st.binv.(i) 0 m
+  done;
+  recompute_xb st
 
-(* Append the pivot (entering column image [w], leaving position [r])
-   to the eta file; on a numerically hopeless eta pivot rebuild the
-   factorization of the already-updated recorded basis instead.
-   Returns true when the basis was repaired (duals must be rebuilt). *)
-let update_basis st r =
-  if Basis.update st.basis ~r ~w:st.w then begin
-    Trace.incr c_eta_updates;
-    if Basis.needs_refactor st.basis then refactorize st else false
-  end
-  else refactorize st
+(* Pivot: entering variable j (with ftran column w) replaces the basic
+   variable in row position r.  Updates Binv in place. *)
+let update_binv st r w =
+  let m = st.m in
+  let piv = w.(r) in
+  let br = st.binv.(r) in
+  for k = 0 to m - 1 do
+    br.(k) <- br.(k) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> r && Float_cmp.nonzero w.(i) then begin
+      let f = w.(i) and bi = st.binv.(i) in
+      for k = 0 to m - 1 do
+        bi.(k) <- bi.(k) -. (f *. br.(k))
+      done
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Primal simplex iterations with cost vector [costs].                 *)
@@ -313,20 +240,19 @@ type primal_result = P_optimal | P_unbounded | P_iter_limit
 
 let primal_loop st costs ~iter_limit iter_count =
   let m = st.m in
-  let y = st.y and w = st.w and rho = st.rho in
+  let y = Array.make m 0. in
+  let w = Array.make m 0. in
+  let rho = Array.make m 0. in
   (* reduced costs, maintained incrementally (O(nnz) per pivot instead
-     of a BTRAN per iteration) and recomputed periodically; devex
-     weights reset whenever the reduced costs are rebuilt exactly *)
-  let d = st.d and gamma = st.gamma in
+     of an O(m^2) btran per iteration) and recomputed periodically *)
+  let d = Array.make st.ntot 0. in
   let recompute_d () =
     btran st costs y;
     for j = 0 to st.ntot - 1 do
       if st.vstat.(j) <> basic then d.(j) <- costs.(j) -. col_dot st y j
-      else d.(j) <- 0.;
-      gamma.(j) <- 1.
+      else d.(j) <- 0.
     done
   in
-  st.d_valid <- false;
   recompute_d ();
   let degen = ref 0 in
   let result = ref None in
@@ -340,7 +266,7 @@ let primal_loop st costs ~iter_limit iter_count =
       end;
       let bland = !degen > degen_threshold in
       (* --- pricing: choose entering variable --- *)
-      let enter = ref (-1) and enter_dir = ref 1. and best = ref 0. in
+      let enter = ref (-1) and enter_dir = ref 1. and best = ref opt_tol in
       let consider j dj =
         let stt = st.vstat.(j) in
         if stt <> basic && st.lo.(j) < st.up.(j) then begin
@@ -353,14 +279,10 @@ let primal_loop st costs ~iter_limit iter_count =
                   best := score
                 end
               end
-              else begin
-                (* devex: steepest reduced cost in the reference frame *)
-                let dscore = score *. score /. gamma.(j) in
-                if dscore > !best then begin
-                  enter := j;
-                  enter_dir := dir;
-                  best := dscore
-                end
+              else if score > !best then begin
+                enter := j;
+                enter_dir := dir;
+                best := score
               end
           in
           if stt = at_lower then try_dir 1. (-.dj)
@@ -372,28 +294,9 @@ let primal_loop st costs ~iter_limit iter_count =
           end
         end
       in
-      if bland then
-        for j = 0 to st.ntot - 1 do
-          if st.vstat.(j) <> basic then consider j d.(j)
-        done
-      else begin
-        (* partial pricing: cyclic scan of static sections, stopping at
-           the first section that yields a candidate *)
-        let scanned = ref 0 in
-        while !enter = -1 && !scanned < st.nsec do
-          let s0 = (st.psec + !scanned) mod st.nsec in
-          let jhi = min st.ntot ((s0 + 1) * st.sec_size) - 1 in
-          for j = s0 * st.sec_size to jhi do
-            if st.vstat.(j) <> basic then consider j d.(j)
-          done;
-          (* advance the cursor past the section that produced the
-             candidate: sticking to a section while it keeps yielding
-             (degenerate) candidates starves the rest of the matrix and
-             stalls phase 1 on massively degenerate vertices *)
-          if !enter <> -1 then st.psec <- (s0 + 1) mod st.nsec;
-          incr scanned
-        done
-      end;
+      for j = 0 to st.ntot - 1 do
+        if st.vstat.(j) <> basic then consider j d.(j)
+      done;
       if !enter = -1 then begin
         (* confirm with exact reduced costs before declaring optimal *)
         recompute_d ();
@@ -415,21 +318,8 @@ let primal_loop st costs ~iter_limit iter_count =
         let j = !enter and s = !enter_dir in
         ftran st j w;
         (* --- ratio test --- *)
-        (* Basic value i changes at rate (-. s *. w.(i)) per unit step.
-           Ties are normally broken toward the largest pivot magnitude
-           (stability); under the Bland fallback they must be broken by
-           smallest leaving variable index instead — Bland's rule only
-           guarantees termination when BOTH the entering and the leaving
-           choice use the smallest-index rule. *)
+        (* Basic value i changes at rate (-. s *. w.(i)) per unit step. *)
         let tmax = ref infinity and leave = ref (-1) and leave_to_up = ref false in
-        let better i ti =
-          ti < !tmax -. 1e-12
-          || ti < !tmax +. 1e-12
-             && (!leave = -1
-                ||
-                if bland then st.bas.(i) < st.bas.(!leave)
-                else Float.abs w.(i) > Float.abs w.(!leave))
-        in
         for i = 0 to m - 1 do
           let rate = -.s *. w.(i) in
           if rate < -.pivot_tol then begin
@@ -437,7 +327,11 @@ let primal_loop st costs ~iter_limit iter_count =
             if lb > neg_infinity then begin
               let ti = (st.xb.(i) -. lb) /. -.rate in
               let ti = if ti < 0. then 0. else ti in
-              if better i ti then begin
+              if
+                ti < !tmax -. 1e-12
+                || (ti < !tmax +. 1e-12
+                   && (!leave = -1 || Float.abs w.(i) > Float.abs w.(!leave)))
+              then begin
                 tmax := ti;
                 leave := i;
                 leave_to_up := false
@@ -449,7 +343,11 @@ let primal_loop st costs ~iter_limit iter_count =
             if ub < infinity then begin
               let ti = (ub -. st.xb.(i)) /. rate in
               let ti = if ti < 0. then 0. else ti in
-              if better i ti then begin
+              if
+                ti < !tmax -. 1e-12
+                || (ti < !tmax +. 1e-12
+                   && (!leave = -1 || Float.abs w.(i) > Float.abs w.(!leave)))
+              then begin
                 tmax := ti;
                 leave := i;
                 leave_to_up := true
@@ -486,45 +384,27 @@ let primal_loop st costs ~iter_limit iter_count =
           let q = st.bas.(r) in
           st.vstat.(q) <- (if !leave_to_up then at_upper else at_lower);
           st.xn.(q) <- (if !leave_to_up then st.up.(q) else st.lo.(q));
-          (* incremental dual/devex update with the pre-pivot row r of
-             B^-1: d'_k = d_k - (d_j / w_r) (rho . A_k) and
-             gamma'_k = max(gamma_k, (alpha_k / w_r)^2 gamma_j) *)
-          Basis.btran_unit st.basis r rho;
-          let alpha_j = w.(r) in
-          let theta = d.(j) /. alpha_j in
-          let gscale = gamma.(j) /. (alpha_j *. alpha_j) in
+          (* incremental dual update with the pre-pivot row r of Binv:
+             d'_k = d_k - (d_j / w_r) * (rho . A_k) *)
+          Array.blit st.binv.(r) 0 rho 0 m;
+          let theta = d.(j) /. w.(r) in
+          (try update_binv st r w
+           with Division_by_zero ->
+             refactorize st);
           st.bas.(r) <- j;
           st.vstat.(j) <- basic;
           st.xb.(r) <- entering_value;
-          let repaired = update_basis st r in
-          if repaired then begin
-            recompute_xb st;
-            recompute_d ()
-          end
-          else begin
-            scatter_alpha st rho;
-            Sparse.Svec.iter st.asv (fun k alpha_k ->
-                if st.vstat.(k) <> basic && k <> q
-                   && Float_cmp.nonzero alpha_k
-                then begin
-                  if Float_cmp.nonzero theta then
-                    d.(k) <- d.(k) -. (theta *. alpha_k);
-                  let cand = alpha_k *. alpha_k *. gscale in
-                  if cand > gamma.(k) then gamma.(k) <- cand
-                end);
-            d.(q) <- -.theta;
-            gamma.(q) <- Float.max gscale 1.;
-            d.(j) <- 0.
-          end
+          if Float_cmp.nonzero theta then
+            for k = 0 to st.ntot - 1 do
+              if st.vstat.(k) <> basic && k <> q then
+                d.(k) <- d.(k) -. (theta *. col_dot st rho k)
+            done;
+          d.(q) <- -.theta;
+          d.(j) <- 0.
         end
       end
     end
   done;
-  (* the optimal exit passed the exact confirmation, so for phase-2
-     costs [d] is the exact reduced-cost vector of the final basis *)
-  (match !result with
-  | Some P_optimal when costs == st.cost -> st.d_valid <- true
-  | _ -> ());
   match !result with Some r -> r | None -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -548,23 +428,22 @@ let setup_cold st =
       st.xn.(j) <- 0.
     end
   done;
-  (* slacks basic (identity basis, factored trivially with no
-     patches); artificials fixed nonbasic *)
+  (* slacks basic, identity basis; artificials fixed nonbasic *)
   for i = 0 to m - 1 do
     st.bas.(i) <- n + i;
     st.vstat.(n + i) <- basic;
     st.lo.(n + m + i) <- 0.;
     st.up.(n + m + i) <- 0.;
     st.vstat.(n + m + i) <- at_lower;
-    st.xn.(n + m + i) <- 0.
+    st.xn.(n + m + i) <- 0.;
+    let bi = st.binv.(i) in
+    Array.fill bi 0 m 0.;
+    bi.(i) <- 1.
   done;
-  st.psec <- 0;
-  ignore (refactorize st)
+  recompute_xb st
 
 (* Phase 1: replace infeasible basic slacks by artificials; returns the
-   phase-1 cost vector, or None if the start is already feasible.  The
-   slack -> artificial swap keeps the basis matrix (and hence the LU
-   factorization) unchanged: both are the unit column of their row. *)
+   phase-1 cost vector, or None if the start is already feasible. *)
 let setup_phase1 st =
   let n = st.n and m = st.m in
   let costs = Array.make st.ntot 0. in
@@ -640,8 +519,6 @@ let extract_solution st ~status ~iterations =
   for j = 0 to n - 1 do
     obj := !obj +. (st.cost.(j) *. x.(j))
   done;
-  Trace.add c_iterations iterations;
-  Trace.observe h_iterations (float_of_int iterations);
   st.last_status <- Some status;
   {
     status;
@@ -656,7 +533,6 @@ let extract_solution st ~status ~iterations =
 let default_iter_limit st = 50_000 + (50 * (st.n + st.m))
 
 let cold_solve ?iter_limit st =
-  Trace.incr c_cold_solves;
   let iter_limit =
     match iter_limit with Some l -> l | None -> default_iter_limit st
   in
@@ -670,7 +546,7 @@ let cold_solve ?iter_limit st =
         | P_unbounded ->
             (* phase-1 objective is bounded below by 0; treat as numeric
                trouble and refactorize once *)
-            ignore (refactorize st);
+            refactorize st;
             phase1_obj st p1costs > feas_tol *. 10.
         | P_iter_limit -> true
         | P_optimal -> phase1_obj st p1costs > feas_tol *. 10.)
@@ -686,7 +562,7 @@ let cold_solve ?iter_limit st =
     recompute_xb st;
     match primal_loop st st.cost ~iter_limit iters with
     | P_optimal ->
-        (* polish: guard against drift of the updated factors *)
+        (* polish: guard against drift of the updated inverse *)
         recompute_xb st;
         let bad = ref false in
         for i = 0 to st.m - 1 do
@@ -697,7 +573,7 @@ let cold_solve ?iter_limit st =
           then bad := true
         done;
         if !bad then begin
-          ignore (refactorize st);
+          (try refactorize st with Singular_basis -> ());
           ignore (primal_loop st st.cost ~iter_limit iters)
         end;
         extract_solution st ~status:Optimal ~iterations:!iters
@@ -714,18 +590,17 @@ type dual_result = D_optimal | D_infeasible | D_iter_limit
 
 let dual_loop st ~iter_limit iters =
   let m = st.m in
-  let rho = st.rho and w = st.w and y = st.y in
-  let d = st.d in
+  let rho = Array.make m 0. in
+  let w = Array.make m 0. in
+  let y = Array.make m 0. in
+  let d = Array.make st.ntot 0. in
   let recompute_duals () =
     btran st st.cost y;
     for j = 0 to st.ntot - 1 do
       if st.vstat.(j) <> basic then d.(j) <- st.cost.(j) -. col_dot st y j
-    done;
-    st.d_valid <- true
+    done
   in
-  (* a warm restart from an optimal basis inherits its exact reduced
-     costs; rebuild only when the basis has moved under us *)
-  if not st.d_valid then recompute_duals ();
+  recompute_duals ();
   let zero_steps = ref 0 in
   let result = ref None in
   while !result = None do
@@ -756,19 +631,15 @@ let dual_loop st ~iter_limit iters =
       if !r = -1 then result := Some D_optimal
       else begin
         let r = !r in
-        Basis.btran_unit st.basis r rho;
-        (* pivot-row entries alpha_k = rho . A_k; only columns in the
-           scatter pattern can pass the pivot tolerance, so the ratio
-           test and the dual update below visit just the pattern *)
-        scatter_alpha st rho;
+        Array.blit st.binv.(r) 0 rho 0 m;
         let bland = !zero_steps > degen_threshold in
         (* --- entering: dual ratio test --- *)
         let enter = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0. in
-        Sparse.Svec.iter st.asv (fun j alpha ->
-            let stt = st.vstat.(j) in
-            if stt <> basic && st.lo.(j) < st.up.(j)
-               && Float.abs alpha > pivot_tol
-            then begin
+        for j = 0 to st.ntot - 1 do
+          let stt = st.vstat.(j) in
+          if stt <> basic && st.lo.(j) < st.up.(j) then begin
+            let alpha = col_dot st rho j in
+            if Float.abs alpha > pivot_tol then begin
               let candidate =
                 if !above then
                   (stt = at_lower && alpha > 0.)
@@ -797,7 +668,9 @@ let dual_loop st ~iter_limit iters =
                   best_alpha := alpha
                 end
               end
-            end);
+            end
+          end
+        done;
         if !enter = -1 then result := Some D_infeasible
         else begin
           let j = !enter in
@@ -812,24 +685,22 @@ let dual_loop st ~iter_limit iters =
           done;
           st.vstat.(q) <- (if !above then at_upper else at_lower);
           st.xn.(q) <- target;
+          update_binv st r w;
           st.bas.(r) <- j;
           st.vstat.(j) <- basic;
           st.xb.(r) <- st.xn.(j) +. delta;
+          (* update duals: d'_k = d_k - (d_j/alpha_j) * alpha_k *)
           let theta = d.(j) /. alpha_j in
-          let repaired = update_basis st r in
-          if repaired then begin
-            recompute_xb st;
-            recompute_duals ()
-          end
-          else begin
-            (* update duals: d'_k = d_k - (d_j/alpha_j) * alpha_k *)
-            if Float_cmp.nonzero theta then
-              Sparse.Svec.iter st.asv (fun k alpha_k ->
-                  if st.vstat.(k) <> basic then
-                    d.(k) <- d.(k) -. (theta *. alpha_k));
-            d.(q) <- -.theta;
-            d.(j) <- 0.
-          end
+          if Float_cmp.nonzero theta then begin
+            for k = 0 to st.ntot - 1 do
+              if st.vstat.(k) <> basic then begin
+                let alpha_k = col_dot st rho k in
+                d.(k) <- d.(k) -. (theta *. alpha_k)
+              end
+            done
+          end;
+          d.(q) <- -.theta;
+          d.(j) <- 0.
         end
       end
     end
@@ -841,7 +712,7 @@ let dual_loop st ~iter_limit iters =
    drift broke it, fall back to a cold solve rather than return a
    primal-feasible but suboptimal point. *)
 let dual_feasible st =
-  let y = st.y in
+  let y = Array.make st.m 0. in
   btran st st.cost y;
   let ok = ref true in
   for j = 0 to st.ntot - 1 do
@@ -854,7 +725,7 @@ let dual_feasible st =
   done;
   !ok
 
-let resolve_rhs_sp ?iter_limit st rhs =
+let resolve_rhs ?iter_limit st rhs =
   if Array.length rhs <> st.m then invalid_arg "Simplex.resolve_rhs";
   Array.blit rhs 0 st.b 0 st.m;
   let iter_limit =
@@ -863,17 +734,13 @@ let resolve_rhs_sp ?iter_limit st rhs =
   let cold () = cold_solve ~iter_limit st in
   match st.last_status with
   | Some Optimal -> (
-      Trace.incr c_warm_attempts;
       recompute_xb st;
       let iters = ref 0 in
       match dual_loop st ~iter_limit iters with
       | D_optimal ->
-          if dual_feasible st then begin
-            Trace.incr c_warm_hits;
+          if dual_feasible st then
             extract_solution st ~status:Optimal ~iterations:!iters
-          end
           else begin
-            Trace.incr c_warm_fallbacks;
             Log.debug (fun m ->
                 m "dual simplex drifted out of dual feasibility; cold re-solve");
             cold ()
@@ -881,31 +748,24 @@ let resolve_rhs_sp ?iter_limit st rhs =
       | D_infeasible ->
           (* confirm with a cold solve to guard against numerics *)
           let sol = cold () in
-          if sol.status = Optimal then begin
-            Trace.incr c_warm_fallbacks;
-            sol
-          end
-          else begin
+          if sol.status = Optimal then sol
+          else
             (* the warm dual correctly proved infeasibility *)
-            Trace.incr c_warm_hits;
             extract_solution st ~status:Infeasible ~iterations:!iters
-          end
-      | D_iter_limit ->
-          Trace.incr c_warm_fallbacks;
-          cold ())
+      | D_iter_limit -> cold ())
   | _ -> cold ()
 
-let solve_warm_sp ?iter_limit st =
+let solve_warm ?iter_limit st =
   match st.last_status with
   | Some Optimal ->
       (* model RHS may have been mutated by the caller through the
          handle's captured copy; re-read is the caller's duty via
          [resolve_rhs].  Here just re-run from the current state. *)
-      resolve_rhs_sp ?iter_limit st (Array.copy st.b)
+      resolve_rhs ?iter_limit st (Array.copy st.b)
   | _ -> cold_solve ?iter_limit st
 
-let extend_sp st model =
-  let st2 = make_sp model in
+let extend st model =
+  let st2 = make model in
   if st2.n <> st.n || st2.m < st.m then
     invalid_arg "Simplex.extend: model must only gain rows";
   match st.last_status with
@@ -935,78 +795,48 @@ let extend_sp st model =
         st2.bas.(i) <- st2.n + i;
         st2.vstat.(st2.n + i) <- basic
       done;
-      (* With the new rows' slacks basic the basis is block
-         triangular, [[B, 0], [C, I]]; a fresh sparse factorization is
-         cheap (the appended unit columns pivot first) and replaces the
-         dense block-inverse construction of the pre-sparse solver. *)
-      ignore (refactorize st2);
+      (* Block inverse: with the new rows' slacks basic the basis is
+         B' = [[B, 0], [C, I]], so B'^-1 = [[B^-1, 0], [-C B^-1, I]]
+         where C is the new rows' coefficients on the old basic
+         columns (all structural: old slacks never appear in new
+         rows). *)
+      let pos_of_var = Array.make st.n (-1) in
+      for i = 0 to st.m - 1 do
+        if st.bas.(i) < st.n then pos_of_var.(st.bas.(i)) <- i
+      done;
+      for i = 0 to st.m - 1 do
+        let src = st.binv.(i) and dst = st2.binv.(i) in
+        Array.fill dst 0 st2.m 0.;
+        Array.blit src 0 dst 0 st.m
+      done;
+      for r = st.m to st2.m - 1 do
+        let dst = st2.binv.(r) in
+        Array.fill dst 0 st2.m 0.;
+        List.iter
+          (fun (j, a) ->
+            if j < st.n && pos_of_var.(j) >= 0 then begin
+              let bk = st.binv.(pos_of_var.(j)) in
+              for t = 0 to st.m - 1 do
+                dst.(t) <- dst.(t) -. (a *. bk.(t))
+              done
+            end)
+          (Lp_model.row_coeffs model r);
+        dst.(r) <- 1.
+      done;
+      recompute_xb st2;
       (* same costs, appended basic slacks: the old duals remain
          feasible, so flag the state warm for the dual simplex *)
       st2.last_status <- Some Optimal;
       st2)
   | _ -> st2
 
-(* ------------------------------------------------------------------ *)
-(* Public interface: sparse by default, the frozen dense reference     *)
-(* when FLEXILE_DENSE_SIMPLEX=1 (differential-testing escape hatch).   *)
-(* ------------------------------------------------------------------ *)
-
-type t = Sp of sp | Dn of Simplex_dense.t
-
-let dense_selected () =
-  match Sys.getenv_opt "FLEXILE_DENSE_SIMPLEX" with
-  | Some ("1" | "true" | "yes") -> true
-  | _ -> false
-
-let of_dense_status = function
-  | Simplex_dense.Optimal -> Optimal
-  | Simplex_dense.Infeasible -> Infeasible
-  | Simplex_dense.Unbounded -> Unbounded
-  | Simplex_dense.Iteration_limit -> Iteration_limit
-
-let of_dense_solution (s : Simplex_dense.solution) =
-  {
-    status = of_dense_status s.Simplex_dense.status;
-    obj = s.Simplex_dense.obj;
-    x = s.Simplex_dense.x;
-    row_duals = s.Simplex_dense.row_duals;
-    reduced_costs = s.Simplex_dense.reduced_costs;
-    bound_term = s.Simplex_dense.bound_term;
-    iterations = s.Simplex_dense.iterations;
-  }
-
-let make model =
-  if dense_selected () then Dn (Simplex_dense.make model)
-  else Sp (make_sp model)
-
-let solve_warm ?iter_limit t =
-  match t with
-  | Sp st -> solve_warm_sp ?iter_limit st
-  | Dn d -> of_dense_solution (Simplex_dense.solve_warm ?iter_limit d)
-
-let resolve_rhs ?iter_limit t rhs =
-  Trace.in_span sp_resolve @@ fun () ->
-  match t with
-  | Sp st -> resolve_rhs_sp ?iter_limit st rhs
-  | Dn d -> of_dense_solution (Simplex_dense.resolve_rhs ?iter_limit d rhs)
-
-let extend t model =
-  match t with
-  | Sp st -> Sp (extend_sp st model)
-  | Dn d -> Dn (Simplex_dense.extend d model)
-
 let solve ?iter_limit model =
-  Trace.in_span sp_solve @@ fun () ->
-  if dense_selected () then
-    of_dense_solution (Simplex_dense.solve ?iter_limit model)
-  else begin
-    let st = make_sp model in
-    let sol = cold_solve ?iter_limit st in
-    (if sol.status = Optimal then
-       let viol = Lp_model.max_violation model sol.x in
-       if viol > 1e-5 then
-         Log.warn (fun m ->
-             m "solution of %s violates constraints by %g"
-               (Lp_model.name model) viol));
-    sol
-  end
+  let st = make model in
+  let sol = cold_solve ?iter_limit st in
+  (if sol.status = Optimal then
+     let viol = Lp_model.max_violation model sol.x in
+     if viol > 1e-5 then
+       Log.warn (fun m ->
+           m "solution of %s violates constraints by %g"
+             (Lp_model.name model) viol));
+  sol

@@ -1,0 +1,476 @@
+(* Sparse linear-algebra kernels for the revised simplex: scatter/
+   gather sparse-vector workspaces and an LU-factorized basis with a
+   product-form (eta-file) update.  See DESIGN.md section 11.
+
+   Everything here is deterministic: pivot choices break ties by index,
+   traversals follow explicit array order, and no structure depends on
+   hash-bucket order or wall time.  The workspaces are intentionally
+   mutable and reused across calls so that the simplex pivot loop
+   performs no per-pivot allocation (the eta arena grows by amortized
+   doubling, which is the only allocation on the pivot path). *)
+
+module Float_cmp = Flexile_util.Float_cmp
+
+(* ------------------------------------------------------------------ *)
+(* Sparse vector workspace                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Svec = struct
+  type t = {
+    dim : int;
+    vals : float array; (* dense values; exactly 0. outside the pattern *)
+    idx : int array; (* first [nnz] entries: the pattern, insertion order *)
+    mark : bool array; (* pattern membership *)
+    mutable nnz : int;
+  }
+
+  let create dim =
+    {
+      dim;
+      vals = Array.make dim 0.;
+      idx = Array.make dim 0;
+      mark = Array.make dim false;
+      nnz = 0;
+    }
+
+  let dim t = t.dim
+  let nnz t = t.nnz
+
+  let clear t =
+    for k = 0 to t.nnz - 1 do
+      let i = t.idx.(k) in
+      t.vals.(i) <- 0.;
+      t.mark.(i) <- false
+    done;
+    t.nnz <- 0
+
+  let add t i v =
+    if not t.mark.(i) then begin
+      t.mark.(i) <- true;
+      t.idx.(t.nnz) <- i;
+      t.nnz <- t.nnz + 1
+    end;
+    t.vals.(i) <- t.vals.(i) +. v
+
+  let get t i = t.vals.(i)
+  let mem t i = t.mark.(i)
+
+  let iter t f =
+    for k = 0 to t.nnz - 1 do
+      let i = t.idx.(k) in
+      f i t.vals.(i)
+    done
+
+  let to_dense t = Array.copy t.vals
+end
+
+(* ------------------------------------------------------------------ *)
+(* Growable arenas (amortized doubling, reused across factorizations)  *)
+(* ------------------------------------------------------------------ *)
+
+let grow_i a needed =
+  if Array.length a >= needed then a
+  else begin
+    let b = Array.make (max needed (2 * Array.length a)) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_f a needed =
+  if Array.length a >= needed then a
+  else begin
+    let b = Array.make (max needed (2 * Array.length a)) 0. in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* LU-factorized basis with eta-file updates                           *)
+(* ------------------------------------------------------------------ *)
+
+module Basis = struct
+  (* Factorization: P B Q = L U with L unit lower triangular and U
+     upper triangular in "step" space (step k pivots row [prow.(k)] on
+     the basis column at position [qpos.(k)]).  Columns are processed
+     in ascending-nonzero-count order (static Markowitz: unit slack
+     columns pivot first and produce no fill), rows are chosen by
+     threshold partial pivoting with a static row-degree (Markowitz)
+     merit among the numerically acceptable candidates.
+
+     Updates: after a simplex pivot replaces the basic variable at
+     position r by a column whose FTRAN image is w, the new basis is
+     B' = B E where E is the identity with column r replaced by w.
+     E^-1 is applied after the LU solves in FTRAN and before them
+     (transposed, in reverse order) in BTRAN; the (r, w) pairs are the
+     eta file, stored sparsely in one arena. *)
+
+  let threshold = 0.01 (* relative pivot-acceptance threshold *)
+  let abs_pivot_tol = 1e-11 (* below this a column is deferred/patched *)
+  let eta_pivot_tol = 1e-9 (* below this an update forces refactorization *)
+
+  type t = {
+    m : int;
+    eta_limit : int;
+    (* LU factors *)
+    prow : int array; (* step -> pivot row *)
+    qpos : int array; (* step -> basis position *)
+    step_of_row : int array; (* row -> step (-1 while factoring) *)
+    step_of_pos : int array; (* basis position -> step *)
+    l_start : int array; (* length m+1 *)
+    mutable l_idx : int array; (* row indices *)
+    mutable l_val : float array;
+    mutable l_len : int;
+    u_start : int array; (* length m+1 *)
+    mutable u_idx : int array; (* earlier-step indices *)
+    mutable u_val : float array;
+    mutable u_len : int;
+    u_diag : float array;
+    active : int array; (* steps with a nonempty L column, ascending *)
+    mutable n_active : int;
+    (* eta file *)
+    mutable e_pos : int array;
+    mutable e_diag : float array;
+    mutable e_start : int array; (* length n_eta+1 *)
+    mutable e_idx : int array;
+    mutable e_val : float array;
+    mutable n_eta : int;
+    mutable e_len : int;
+    (* factorization scratch *)
+    ws : Svec.t;
+    step_vec : float array; (* step-space solve workspace *)
+    row_cnt : int array; (* static row degrees of the current basis *)
+    order : int array; (* column processing order *)
+    col_nnz : int array;
+    c_start : int array; (* collected basis columns, length m+1 *)
+    mutable c_idx : int array;
+    mutable c_val : float array;
+    deferred : int array; (* positions without an acceptable pivot *)
+    mutable n_deferred : int;
+    mutable factored : bool;
+  }
+
+  let create ?eta_limit m =
+    let eta_limit =
+      match eta_limit with
+      | Some l -> max 1 l
+      | None -> max 64 (m / 2)
+    in
+    {
+      m;
+      eta_limit;
+      prow = Array.make (max 1 m) 0;
+      qpos = Array.make (max 1 m) 0;
+      step_of_row = Array.make (max 1 m) (-1);
+      step_of_pos = Array.make (max 1 m) (-1);
+      l_start = Array.make (m + 1) 0;
+      l_idx = Array.make (max 16 m) 0;
+      l_val = Array.make (max 16 m) 0.;
+      l_len = 0;
+      u_start = Array.make (m + 1) 0;
+      u_idx = Array.make (max 16 m) 0;
+      u_val = Array.make (max 16 m) 0.;
+      u_len = 0;
+      u_diag = Array.make (max 1 m) 0.;
+      active = Array.make (max 1 m) 0;
+      n_active = 0;
+      e_pos = Array.make 16 0;
+      e_diag = Array.make 16 0.;
+      e_start = Array.make 17 0;
+      e_idx = Array.make 64 0;
+      e_val = Array.make 64 0.;
+      n_eta = 0;
+      e_len = 0;
+      ws = Svec.create (max 1 m);
+      step_vec = Array.make (max 1 m) 0.;
+      row_cnt = Array.make (max 1 m) 0;
+      order = Array.make (max 1 m) 0;
+      col_nnz = Array.make (max 1 m) 0;
+      c_start = Array.make (m + 1) 0;
+      c_idx = Array.make (max 16 m) 0;
+      c_val = Array.make (max 16 m) 0.;
+      deferred = Array.make (max 1 m) 0;
+      n_deferred = 0;
+      factored = false;
+    }
+
+  let dim t = t.m
+  let is_factored t = t.factored
+  let eta_count t = t.n_eta
+  let eta_nnz t = t.e_len
+  let lu_nnz t = t.l_len + t.u_len + t.m
+
+  let needs_refactor t =
+    t.n_eta >= t.eta_limit || t.e_len > 4 * (t.l_len + t.u_len + t.m)
+
+  (* ---- factorization ---- *)
+
+  let push_l t row v =
+    t.l_idx <- grow_i t.l_idx (t.l_len + 1);
+    t.l_val <- grow_f t.l_val (t.l_len + 1);
+    t.l_idx.(t.l_len) <- row;
+    t.l_val.(t.l_len) <- v;
+    t.l_len <- t.l_len + 1
+
+  let push_u t step v =
+    t.u_idx <- grow_i t.u_idx (t.u_len + 1);
+    t.u_val <- grow_f t.u_val (t.u_len + 1);
+    t.u_idx.(t.u_len) <- step;
+    t.u_val.(t.u_len) <- v;
+    t.u_len <- t.u_len + 1
+
+  (* Record step [k]: pivot [row] on basis position [pos] whose
+     eliminated column is currently scattered in [t.ws] (empty for a
+     patched unit column). *)
+  let finish_step t k ~pos ~row ~diag =
+    t.prow.(k) <- row;
+    t.qpos.(k) <- pos;
+    t.step_of_row.(row) <- k;
+    t.step_of_pos.(pos) <- k;
+    t.u_diag.(k) <- diag
+
+  let factor t ~col =
+    let m = t.m in
+    t.l_len <- 0;
+    t.u_len <- 0;
+    t.n_active <- 0;
+    t.n_eta <- 0;
+    t.e_len <- 0;
+    t.e_start.(0) <- 0;
+    t.n_deferred <- 0;
+    t.factored <- false;
+    Array.fill t.step_of_row 0 m (-1);
+    Array.fill t.step_of_pos 0 m (-1);
+    Array.fill t.row_cnt 0 m 0;
+    (* collect the basis columns once (closure calls only here) *)
+    let len = ref 0 in
+    for pos = 0 to m - 1 do
+      t.c_start.(pos) <- !len;
+      col pos (fun row v ->
+          t.c_idx <- grow_i t.c_idx (!len + 1);
+          t.c_val <- grow_f t.c_val (!len + 1);
+          t.c_idx.(!len) <- row;
+          t.c_val.(!len) <- v;
+          incr len;
+          t.row_cnt.(row) <- t.row_cnt.(row) + 1);
+      t.col_nnz.(pos) <- !len - t.c_start.(pos)
+    done;
+    t.c_start.(m) <- !len;
+    (* static Markowitz column order: ascending nonzero count, then
+       position (unit columns first; deterministic) *)
+    for pos = 0 to m - 1 do
+      t.order.(pos) <- pos
+    done;
+    let cmp a b =
+      let c = compare t.col_nnz.(a) t.col_nnz.(b) in
+      if c <> 0 then c else compare a b
+    in
+    (let order = Array.sub t.order 0 m in
+     Array.sort cmp order;
+     Array.blit order 0 t.order 0 m);
+    let step = ref 0 in
+    for o = 0 to m - 1 do
+      let pos = t.order.(o) in
+      let ws = t.ws in
+      (* scatter the column *)
+      for c = t.c_start.(pos) to t.c_start.(pos + 1) - 1 do
+        Svec.add ws t.c_idx.(c) t.c_val.(c)
+      done;
+      (* eliminate with the already-computed L columns, ascending step
+         order (dependencies only point forward, so one pass is exact) *)
+      for a = 0 to t.n_active - 1 do
+        let s = t.active.(a) in
+        let pr = t.prow.(s) in
+        if Svec.mem ws pr then begin
+          let x = Svec.get ws pr in
+          if Float_cmp.nonzero x then
+            for c = t.l_start.(s) to t.l_start.(s + 1) - 1 do
+              Svec.add ws t.l_idx.(c) (-.t.l_val.(c) *. x)
+            done
+        end
+      done;
+      (* pivot selection: threshold partial pivoting with static
+         row-degree merit, deterministic index tie-break *)
+      let vmax = ref 0. in
+      Svec.iter ws (fun row v ->
+          if t.step_of_row.(row) < 0 then begin
+            let a = Float.abs v in
+            if a > !vmax then vmax := a
+          end);
+      if !vmax < abs_pivot_tol then begin
+        (* numerically/structurally dependent column: defer, patch later *)
+        t.deferred.(t.n_deferred) <- pos;
+        t.n_deferred <- t.n_deferred + 1;
+        Svec.clear ws
+      end
+      else begin
+        let acceptable = threshold *. !vmax in
+        let prow = ref (-1) and pmerit = ref max_int in
+        Svec.iter ws (fun row v ->
+            if t.step_of_row.(row) < 0 && Float.abs v >= acceptable then begin
+              let merit = t.row_cnt.(row) in
+              if
+                merit < !pmerit || (merit = !pmerit && (!prow < 0 || row < !prow))
+              then begin
+                prow := row;
+                pmerit := merit
+              end
+            end);
+        let row = !prow in
+        let k = !step in
+        let piv = Svec.get ws row in
+        t.l_start.(k) <- t.l_len;
+        t.u_start.(k) <- t.u_len;
+        Svec.iter ws (fun r v ->
+            if Float_cmp.nonzero v then
+              if t.step_of_row.(r) >= 0 then push_u t t.step_of_row.(r) v
+              else if r <> row then push_l t r (v /. piv));
+        t.l_start.(k + 1) <- t.l_len;
+        t.u_start.(k + 1) <- t.u_len;
+        finish_step t k ~pos ~row ~diag:piv;
+        if t.l_start.(k + 1) > t.l_start.(k) then begin
+          t.active.(t.n_active) <- k;
+          t.n_active <- t.n_active + 1
+        end;
+        incr step;
+        Svec.clear ws
+      end
+    done;
+    (* patch deferred positions with unit columns of the unpivoted
+       rows, pairing both in ascending order (deterministic) *)
+    let patched = ref [] in
+    if t.n_deferred > 0 then begin
+      let defer = Array.sub t.deferred 0 t.n_deferred in
+      Array.sort compare defer;
+      let next_row = ref 0 in
+      Array.iter
+        (fun pos ->
+          while t.step_of_row.(!next_row) >= 0 do
+            incr next_row
+          done;
+          let row = !next_row in
+          let k = !step in
+          t.l_start.(k) <- t.l_len;
+          t.u_start.(k) <- t.u_len;
+          t.l_start.(k + 1) <- t.l_len;
+          t.u_start.(k + 1) <- t.u_len;
+          finish_step t k ~pos ~row ~diag:1.;
+          incr step;
+          patched := (pos, row) :: !patched)
+        defer
+    end;
+    t.factored <- true;
+    List.rev !patched
+
+  (* ---- solves ---- *)
+
+  (* FTRAN: in place, input indexed by row, output indexed by basis
+     position: v := E_k^-1 ... E_1^-1 Q U^-1 L^-1 P v. *)
+  let ftran t v =
+    if not t.factored then invalid_arg "Sparse.Basis.ftran: not factored";
+    let m = t.m in
+    (* L solve in row space, ascending steps *)
+    for a = 0 to t.n_active - 1 do
+      let s = t.active.(a) in
+      let x = v.(t.prow.(s)) in
+      if Float_cmp.nonzero x then
+        for c = t.l_start.(s) to t.l_start.(s + 1) - 1 do
+          v.(t.l_idx.(c)) <- v.(t.l_idx.(c)) -. (t.l_val.(c) *. x)
+        done
+    done;
+    (* gather into step space *)
+    let sv = t.step_vec in
+    for k = 0 to m - 1 do
+      sv.(k) <- v.(t.prow.(k))
+    done;
+    (* U back-substitution in step space *)
+    for k = m - 1 downto 0 do
+      let z = sv.(k) /. t.u_diag.(k) in
+      sv.(k) <- z;
+      if Float_cmp.nonzero z then
+        for c = t.u_start.(k) to t.u_start.(k + 1) - 1 do
+          sv.(t.u_idx.(c)) <- sv.(t.u_idx.(c)) -. (t.u_val.(c) *. z)
+        done
+    done;
+    (* scatter to basis-position space *)
+    for k = 0 to m - 1 do
+      v.(t.qpos.(k)) <- sv.(k)
+    done;
+    (* eta file, oldest first: v_r := v_r / w_r; v_i -= w_i * v_r *)
+    for e = 0 to t.n_eta - 1 do
+      let r = t.e_pos.(e) in
+      let vr = v.(r) /. t.e_diag.(e) in
+      v.(r) <- vr;
+      if Float_cmp.nonzero vr then
+        for c = t.e_start.(e) to t.e_start.(e + 1) - 1 do
+          v.(t.e_idx.(c)) <- v.(t.e_idx.(c)) -. (t.e_val.(c) *. vr)
+        done
+    done
+
+  (* BTRAN: in place, input indexed by basis position, output indexed
+     by row: y solves y^T B = c^T. *)
+  let btran t v =
+    if not t.factored then invalid_arg "Sparse.Basis.btran: not factored";
+    let m = t.m in
+    (* eta file, newest first: c_r := (c_r - sum w_i c_i) / w_r *)
+    for e = t.n_eta - 1 downto 0 do
+      let r = t.e_pos.(e) in
+      let s = ref v.(r) in
+      for c = t.e_start.(e) to t.e_start.(e + 1) - 1 do
+        s := !s -. (t.e_val.(c) *. v.(t.e_idx.(c)))
+      done;
+      v.(r) <- !s /. t.e_diag.(e)
+    done;
+    (* gather into step space and solve U^T forward *)
+    let sv = t.step_vec in
+    for k = 0 to m - 1 do
+      let s = ref v.(t.qpos.(k)) in
+      for c = t.u_start.(k) to t.u_start.(k + 1) - 1 do
+        s := !s -. (t.u_val.(c) *. sv.(t.u_idx.(c)))
+      done;
+      sv.(k) <- !s /. t.u_diag.(k)
+    done;
+    (* L^T backward, writing the row-space result in place *)
+    Array.fill v 0 m 0.;
+    for k = m - 1 downto 0 do
+      let s = ref sv.(k) in
+      for c = t.l_start.(k) to t.l_start.(k + 1) - 1 do
+        s := !s -. (t.l_val.(c) *. v.(t.l_idx.(c)))
+      done;
+      v.(t.prow.(k)) <- !s
+    done
+
+  (* rho := row r of B^-1 (the BTRAN of a basis-position unit vector);
+     fills the caller's dense workspace. *)
+  let btran_unit t r v =
+    Array.fill v 0 t.m 0.;
+    v.(r) <- 1.;
+    btran t v
+
+  (* ---- product-form update ---- *)
+
+  let update t ~r ~w =
+    if not t.factored then invalid_arg "Sparse.Basis.update: not factored";
+    if Float.abs w.(r) < eta_pivot_tol then false
+    else begin
+      let e = t.n_eta in
+      t.e_pos <- grow_i t.e_pos (e + 1);
+      t.e_diag <- grow_f t.e_diag (e + 1);
+      t.e_start <- grow_i t.e_start (e + 2);
+      t.e_pos.(e) <- r;
+      t.e_diag.(e) <- w.(r);
+      let len = ref t.e_len in
+      for i = 0 to t.m - 1 do
+        if i <> r && Float_cmp.nonzero w.(i) then begin
+          t.e_idx <- grow_i t.e_idx (!len + 1);
+          t.e_val <- grow_f t.e_val (!len + 1);
+          t.e_idx.(!len) <- i;
+          t.e_val.(!len) <- w.(i);
+          incr len
+        end
+      done;
+      t.e_len <- !len;
+      t.e_start.(e + 1) <- !len;
+      t.n_eta <- e + 1;
+      true
+    end
+end

@@ -1,0 +1,95 @@
+(** Sparse kernels for the revised simplex core.
+
+    [Svec] is a reusable scatter/gather sparse-vector workspace; [Basis]
+    is an LU-factorized simplex basis with product-form (eta-file)
+    updates.  Both are deterministic — pivot selection and traversal
+    order depend only on the input, never on hashing or time — and both
+    reuse internal buffers so that the simplex pivot loop allocates
+    nothing per pivot (the eta arena grows by amortized doubling).
+
+    See DESIGN.md section 11 for the data layouts and invariants. *)
+
+module Svec : sig
+  type t
+  (** A sparse vector of fixed dimension backed by a dense value array,
+      an explicit pattern (insertion order), and a membership mark. *)
+
+  val create : int -> t
+  (** [create dim] allocates a cleared workspace of dimension [dim]. *)
+
+  val dim : t -> int
+  val nnz : t -> int
+
+  val clear : t -> unit
+  (** O(nnz): resets only the touched entries. *)
+
+  val add : t -> int -> float -> unit
+  (** [add t i v] accumulates [v] into entry [i], extending the pattern
+      if [i] was untouched (even when the sum is numerically zero). *)
+
+  val get : t -> int -> float
+  val mem : t -> int -> bool
+
+  val iter : t -> (int -> float -> unit) -> unit
+  (** Iterates the pattern in insertion order. *)
+
+  val to_dense : t -> float array
+end
+
+module Basis : sig
+  type t
+  (** An [m]x[m] simplex basis held as [P B Q = L U] plus an eta file of
+      product-form updates.  All solves are in place over caller-owned
+      dense arrays of length [m]. *)
+
+  val create : ?eta_limit:int -> int -> t
+  (** [create m] allocates workspaces for an [m]-row basis.
+      [eta_limit] caps the eta file before [needs_refactor] trips
+      (default [max 64 (m/2)]). *)
+
+  val dim : t -> int
+
+  val factor : t -> col:(int -> ((int -> float -> unit) -> unit)) -> (int * int) list
+  (** [factor t ~col] factorizes the basis whose column at position
+      [pos] is enumerated by [col pos f] (calling [f row value]).
+      Columns are ordered by a static Markowitz heuristic; rows by
+      threshold partial pivoting with deterministic tie-breaks.
+
+      Positions whose column admits no acceptable pivot (a singular or
+      numerically dependent basis) are patched with unit columns of the
+      remaining rows; the returned list gives the [(position, row)]
+      pairs that were patched — the caller must replace the basic
+      variable at [position] with the slack of [row] to make the
+      recorded basis match the factorization.  Empty on success. *)
+
+  val is_factored : t -> bool
+
+  val ftran : t -> float array -> unit
+  (** [ftran t v] solves [B x = v] in place.  Input is indexed by row,
+      output by basis position. *)
+
+  val btran : t -> float array -> unit
+  (** [btran t v] solves [y^T B = v^T] in place.  Input is indexed by
+      basis position, output by row. *)
+
+  val btran_unit : t -> int -> float array -> unit
+  (** [btran_unit t r v] fills [v] with row [r] of [B^-1] (the BTRAN of
+      the [r]-th position unit vector).  Overwrites all of [v]. *)
+
+  val update : t -> r:int -> w:float array -> bool
+  (** [update t ~r ~w] appends a product-form eta replacing the basis
+      column at position [r] with the column whose FTRAN image is [w]
+      (dense, length [m]).  Returns [false] — leaving the factorization
+      unchanged — when [|w.(r)|] is below the stability threshold, in
+      which case the caller must refactorize. *)
+
+  val eta_count : t -> int
+  val eta_nnz : t -> int
+
+  val lu_nnz : t -> int
+  (** Nonzeros in [L] + [U] including the unit/diagonal entries. *)
+
+  val needs_refactor : t -> bool
+  (** True once the eta file is long ([eta_limit]) or has grown dense
+      relative to the LU factors. *)
+end

@@ -6,10 +6,18 @@ val table2 : (string * int * int) list
 (** (name, nodes, edges) exactly as in Table 2 of the paper. *)
 
 val by_name : string -> Graph.t
-(** Case-insensitive lookup in {!table2}.  Raises [Not_found]. *)
+(** Case-insensitive lookup in {!table2} (plus ["continental"]).
+    Raises [Not_found]. *)
 
 val all : unit -> (string * Graph.t) list
-(** All 20 evaluation topologies, smallest edge count first. *)
+(** All 20 evaluation topologies, smallest edge count first.  Does not
+    include {!continental}, which is opt-in by name. *)
+
+val continental : unit -> Graph.t
+(** A deterministic 1100-node / 1800-edge synthetic continental WAN —
+    an order of magnitude beyond Table 2, generated with the same
+    seeded scheme.  Sized for the sparse LU simplex; the dense
+    reference solver is not expected to handle it. *)
 
 val triangle : unit -> Graph.t
 (** Fig. 1: nodes A=0, B=1, C=2, three unit-capacity links. *)

@@ -105,6 +105,99 @@ let qcheck_warm_walk_differential =
       done;
       !ok)
 
+(* The same walk under FLEXILE_ETA_LIMIT=2: every second pivot rebuilds
+   the LU factorization, so the walk repeatedly crosses the
+   refactorization path (including mid-dual-simplex rebuilds) instead
+   of riding the eta file.  Results must still match cold solves. *)
+let qcheck_warm_walk_tight_refactor =
+  let gen = QCheck.Gen.(pair (int_range 2 7) (int_range 1 6)) in
+  QCheck.Test.make ~name:"warm rhs walk under eta limit 2 matches cold"
+    ~count:60 (QCheck.make gen) (fun (nv, nr) ->
+      Unix.putenv "FLEXILE_ETA_LIMIT" "2";
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv "FLEXILE_ETA_LIMIT" "")
+        (fun () ->
+          let prng = Prng.of_string (Printf.sprintf "qc-refac-%d-%d" nv nr) in
+          let m = random_lp prng ~nv ~nr in
+          let st = Simplex.make m in
+          let _ = Simplex.solve_warm st in
+          let ok = ref true in
+          for _ = 1 to 6 do
+            if !ok then begin
+              let rhs =
+                Array.init (Lp_model.nrows m) (fun _ ->
+                    Prng.uniform prng (-3.) 8.)
+              in
+              let warm = Simplex.resolve_rhs st rhs in
+              let cold = cold_with_rhs m rhs in
+              ok :=
+                (match (warm.Simplex.status, cold.Simplex.status) with
+                | Simplex.Optimal, Simplex.Optimal ->
+                    Float.abs (warm.Simplex.obj -. cold.Simplex.obj)
+                    <= 1e-6 *. (1. +. Float.abs cold.Simplex.obj)
+                    && Lp_model.max_violation m warm.Simplex.x <= 1e-6
+                | a, b -> a = b)
+            end
+          done;
+          !ok))
+
+(* ---- degenerate-basis recovery: duplicated constraint rows ----
+
+   Exact duplicates of binding rows create massively degenerate
+   (primal-tied, dual-dependent) bases — the regime where the sparse
+   LU core relies on its patch/repair path and on Bland's rule.  The
+   warm walk moves the duplicated RHS values together (keeping the
+   model consistent) and apart (making it infeasible); every step must
+   agree with a cold solve. *)
+let test_duplicate_rows_recovery () =
+  let m = Lp_model.create () in
+  let x = Lp_model.add_var m ~ub:10. ~obj:(-1.) () in
+  let y = Lp_model.add_var m ~ub:10. ~obj:(-2.) () in
+  let z = Lp_model.add_var m ~ub:10. ~obj:(-1.) () in
+  (* the same facet three times plus a coupling row *)
+  let r1 = Lp_model.add_row m Lp_model.Le 8. [ (x, 1.); (y, 1.) ] in
+  let r2 = Lp_model.add_row m Lp_model.Le 8. [ (x, 1.); (y, 1.) ] in
+  let r3 = Lp_model.add_row m Lp_model.Le 8. [ (x, 1.); (y, 1.) ] in
+  let r4 = Lp_model.add_row m Lp_model.Eq 5. [ (y, 1.); (z, 1.) ] in
+  ignore (r1, r2, r3, r4);
+  let st = Simplex.make m in
+  let first = Simplex.solve_warm st in
+  Alcotest.(check string)
+    "duplicate rows: cold solve" "optimal"
+    (solve_status first.Simplex.status);
+  let steps =
+    [
+      ([| 6.; 6.; 6.; 5. |], "optimal");
+      (* the duplicates disagree: rows force x+y <= 2 effectively *)
+      ([| 2.; 6.; 6.; 5. |], "optimal");
+      ([| 2.; 2.; 2.; 14. |], "infeasible");
+      ([| 8.; 8.; 8.; 5. |], "optimal");
+    ]
+  in
+  List.iteri
+    (fun i (rhs, expected) ->
+      let warm = Simplex.resolve_rhs st rhs in
+      let cold = cold_with_rhs m rhs in
+      Alcotest.(check string)
+        (Printf.sprintf "step %d cold status" i)
+        expected
+        (solve_status cold.Simplex.status);
+      Alcotest.(check string)
+        (Printf.sprintf "step %d warm = cold status" i)
+        (solve_status cold.Simplex.status)
+        (solve_status warm.Simplex.status);
+      if cold.Simplex.status = Simplex.Optimal then begin
+        if
+          Float.abs (warm.Simplex.obj -. cold.Simplex.obj)
+          > 1e-6 *. (1. +. Float.abs cold.Simplex.obj)
+        then
+          Alcotest.failf "step %d: warm obj %.12g vs cold %.12g" i
+            warm.Simplex.obj cold.Simplex.obj;
+        if Lp_model.max_violation m warm.Simplex.x > 1e-6 then
+          Alcotest.failf "step %d: warm solution infeasible" i
+      end)
+    steps
+
 (* ---- the warm/cold decision is visible in the trace counters ---- *)
 
 let expect_status name expected sol =
@@ -166,8 +259,9 @@ let () =
       ( "duality",
         List.map QCheck_alcotest.to_alcotest [ qcheck_weak_duality ] );
       ( "warm-vs-cold",
-        List.map QCheck_alcotest.to_alcotest [ qcheck_warm_walk_differential ]
-      );
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_warm_walk_differential; qcheck_warm_walk_tight_refactor ]
+        @ [ quick "duplicate rows recovery" test_duplicate_rows_recovery ] );
       ( "trace-counters",
         [
           quick "fallback legs counted" test_warm_fallback_counters;

@@ -39,6 +39,16 @@ let entries =
          design and touched only at handle creation / aggregation time";
     };
     {
+      rule = "c2-global-mut";
+      files = [ "lib/lp/sparse.ml" ];
+      why =
+        "the sparse simplex kernels deliberately reuse mutable \
+         scatter/gather workspaces and amortized-doubling arenas so the \
+         pivot loop allocates nothing; all state is owned by the Svec / \
+         Basis values, and any module-level scratch added here shares \
+         that single-owner discipline (DESIGN.md section 11)";
+    };
+    {
       rule = "h1-io";
       files = [ "lib/core/figures.ml"; "lib/util/bench_gate.ml" ];
       why =
