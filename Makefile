@@ -51,12 +51,12 @@ verify:
 	$(MAKE) monitor-smoke
 	dune exec bench/main.exe -- --micro
 	dune exec bench/main.exe -- --gate --repeat 3 --jobs 2 \
-	  --check BENCH_PR6.json --tolerance $(BENCH_TOLERANCE)
+	  --check BENCH_PR7.json --tolerance $(BENCH_TOLERANCE)
 
 # Re-record the committed gate baseline (run on an idle machine).
 baseline:
 	dune exec bench/main.exe -- --gate --repeat 5 --jobs 2 \
-	  --baseline BENCH_PR6.json
+	  --baseline BENCH_PR7.json
 
 clean:
 	dune clean

@@ -115,8 +115,8 @@ let micro_benchmarks ~jobs () =
 let gate_phase_order =
   [
     "instance-build"; "offline-solve"; "offline-sweep"; "offline-master";
-    "online-alloc"; "scenbest-sweep"; "swan-maxmin"; "simplex-60x40";
-    "continental-mlu"; "continental-factor";
+    "online-alloc"; "scenbest-sweep"; "swan-maxmin"; "scenario-mix";
+    "simplex-60x40"; "continental-mlu"; "continental-factor";
   ]
 
 (* ---- continental-scale phase ----
@@ -261,6 +261,20 @@ let run_gate ~jobs ~repeat =
            Flexile_te.Flexile_online.run ~jobs inst ~offline));
     ignore (timed "scenbest-sweep" (fun () -> Flexile_te.Scenbest.run ~jobs inst));
     ignore (timed "swan-maxmin" (fun () -> Flexile_te.Swan.run_maxmin ~jobs inst));
+    (* mixed-regime end-to-end: SRLG + partial degradation + demand
+       drift composed through Scenario_gen, then two schemes swept on
+       the resulting set — gates the generator subsystem and the
+       per-scenario demand-factor plumbing *)
+    ignore
+      (timed "scenario-mix" (fun () ->
+           let mixed =
+             Builder.of_name
+               ~options:
+                 { options with Builder.scenario_mix = "srlg,partial,drift" }
+               "IBM"
+           in
+           ignore (Flexile_te.Scenbest.run ~jobs mixed);
+           ignore (Flexile_te.Swan.run_maxmin ~jobs mixed)));
     ignore
       (timed "simplex-60x40" (fun () ->
            (* FLEXILE_GATE_HANDICAP_MS: deliberately slow this phase so

@@ -65,8 +65,21 @@ let two_class_arg =
   Arg.(value & flag & info [ "two-class" ] ~doc)
 
 let scenarios_arg =
-  let doc = "Maximum number of failure scenarios to enumerate." in
-  Arg.(value & opt int 150 & info [ "scenarios" ] ~doc)
+  let doc =
+    "Maximum number of failure scenarios to enumerate ($(docv) = count), or \
+     a comma-separated scenario mix (e.g. srlg,partial,drift) enumerated \
+     with the default cap.  Regimes: independent, srlg, partial, drift, \
+     diurnal, maintenance."
+  in
+  Arg.(value & opt string "150" & info [ "scenarios" ] ~docv:"N|MIX" ~doc)
+
+let mix_arg =
+  let doc =
+    "Scenario regime mix to compose, e.g. srlg,partial,drift (default: \
+     independent Weibull link failures).  Equivalent to passing the mix \
+     directly to --scenarios, but keeps the count configurable."
+  in
+  Arg.(value & opt (some string) None & info [ "mix" ] ~docv:"MIX" ~doc)
 
 let pairs_arg =
   let doc = "Maximum number of site pairs (sampled deterministically)." in
@@ -79,12 +92,31 @@ let jobs_arg =
   in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let build_instance ?(two = false) ?(max_scenarios = 150) ?(max_pairs = 240) name =
+(* --scenarios accepts either an enumeration cap or a mix spec; an
+   explicit --mix wins over a mix passed via --scenarios. *)
+let parse_scenarios_arg spec =
+  match int_of_string_opt (String.trim spec) with
+  | Some n ->
+      if n <= 0 then failwith "--scenarios: count must be positive";
+      (n, None)
+  | None -> (150, Some spec)
+
+let build_instance ?(two = false) ?(scenarios = "150") ?mix
+    ?(cap_scenarios = max_int) ?(max_pairs = 240) name =
+  let count, spec_mix = parse_scenarios_arg scenarios in
+  let scenario_mix =
+    match mix with
+    | Some m -> m
+    | None -> Option.value spec_mix ~default:"independent"
+  in
+  (* validate early for a friendly CLI error *)
+  ignore (Flexile_core.Builder.parse_mix scenario_mix);
   let options =
     {
       Flexile_core.Builder.default_options with
-      Flexile_core.Builder.max_scenarios;
+      Flexile_core.Builder.max_scenarios = min count cap_scenarios;
       max_pairs;
+      scenario_mix;
     }
   in
   Flexile_core.Builder.of_name ~options ~two_classes:two name
@@ -121,10 +153,10 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "gamma" ]
            ~doc:"Bound non-critical flows' loss to gamma + per-scenario optimum (section 4.4).")
   in
-  let run () name two max_scenarios max_pairs iterations gamma jobs trace
+  let run () name two scenarios mix max_pairs iterations gamma jobs trace
       chrome =
     with_trace trace chrome @@ fun () ->
-    let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+    let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
     print_instance inst;
     let config =
       {
@@ -146,8 +178,8 @@ let solve_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ iterations $ gamma $ jobs_arg
-          $ trace_arg $ chrome_arg)
+          $ scenarios_arg $ mix_arg $ pairs_arg $ iterations $ gamma
+          $ jobs_arg $ trace_arg $ chrome_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run Flexile (offline + online) on a topology.") term
 
@@ -158,9 +190,9 @@ let compare_cmd =
     let doc = "Comma-separated schemes (default: Flexile,SMORE,SWAN-Maxmin)." in
     Arg.(value & opt string "Flexile,SMORE,SWAN-Maxmin" & info [ "schemes" ] ~doc)
   in
-  let run () name two max_scenarios max_pairs schemes jobs trace chrome =
+  let run () name two scenarios mix max_pairs schemes jobs trace chrome =
     with_trace trace chrome @@ fun () ->
-    let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+    let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
     print_instance inst;
     String.split_on_char ',' schemes
     |> List.iter (fun s ->
@@ -176,8 +208,8 @@ let compare_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ schemes_arg $ jobs_arg $ trace_arg
-          $ chrome_arg)
+          $ scenarios_arg $ mix_arg $ pairs_arg $ schemes_arg $ jobs_arg
+          $ trace_arg $ chrome_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare TE schemes on a topology.") term
 
@@ -236,11 +268,11 @@ let emulate_cmd =
   let runs_arg =
     Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Independent emulation runs.")
   in
-  let run () name two max_scenarios max_pairs scheme runs jobs =
+  let run () name two scenarios mix max_pairs scheme runs jobs =
     match Flexile_core.Schemes.of_string scheme with
     | None -> Printf.printf "unknown scheme: %s\n" scheme
     | Some scheme ->
-        let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+        let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
         print_instance inst;
         let model = Flexile_core.Schemes.run ~jobs scheme inst in
         report inst (Flexile_core.Schemes.name scheme ^ " (model)") model;
@@ -262,7 +294,8 @@ let emulate_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ scheme_arg $ runs_arg $ jobs_arg)
+          $ scenarios_arg $ mix_arg $ pairs_arg $ scheme_arg $ runs_arg
+          $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "emulate" ~doc:"Emulate a scheme's allocation with discretization.")
@@ -323,11 +356,11 @@ let monitor_cmd =
                    packet-level discretization emulator and observe the \
                    emulated losses instead of the fluid ones.")
   in
-  let run () name two max_scenarios max_pairs iterations jobs seed draws
+  let run () name two scenarios mix max_pairs iterations jobs seed draws
       snapshot_every window prom jsonl emulate =
     (* histograms and counters drive the report; enable unconditionally *)
     Trace.set_enabled true;
-    let inst = build_instance ~two ~max_scenarios ~max_pairs name in
+    let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
     print_instance inst;
     let config =
       {
@@ -446,9 +479,9 @@ let monitor_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ iterations $ jobs_arg $ seed_arg
-          $ draws_arg $ snapshot_arg $ window_arg $ prom_arg $ jsonl_arg
-          $ emulate_arg)
+          $ scenarios_arg $ mix_arg $ pairs_arg $ iterations $ jobs_arg
+          $ seed_arg $ draws_arg $ snapshot_arg $ window_arg $ prom_arg
+          $ jsonl_arg $ emulate_arg)
   in
   Cmd.v
     (Cmd.info "monitor"
@@ -466,8 +499,8 @@ let augment_cmd =
     let doc = "Planning mode: flexile (per-flow critical scenarios) or common (scenario-centric)." in
     Arg.(value & opt string "flexile" & info [ "mode" ] ~doc)
   in
-  let run () name two max_scenarios max_pairs limit mode =
-    let inst = build_instance ~two ~max_scenarios:(min max_scenarios 30)
+  let run () name two scenarios mix max_pairs limit mode =
+    let inst = build_instance ~two ~scenarios ?mix ~cap_scenarios:30
         ~max_pairs:(min max_pairs 40) name in
     print_instance inst;
     let mode =
@@ -494,7 +527,7 @@ let augment_cmd =
   in
   let term =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
-          $ scenarios_arg $ pairs_arg $ limit_arg $ mode_arg)
+          $ scenarios_arg $ mix_arg $ pairs_arg $ limit_arg $ mode_arg)
   in
   Cmd.v
     (Cmd.info "augment"

@@ -2,6 +2,7 @@ module Prng = Flexile_util.Prng
 module Graph = Flexile_net.Graph
 module Tunnels = Flexile_net.Tunnels
 module Failure_model = Flexile_failure.Failure_model
+module Scenario_gen = Flexile_failure.Scenario_gen
 module Gravity = Flexile_traffic.Gravity
 module Instance = Flexile_te.Instance
 module Mlu = Flexile_te.Mlu
@@ -10,6 +11,7 @@ type options = {
   max_pairs : int;
   max_scenarios : int;
   scenario_cutoff : float;
+  scenario_mix : string;
   mlu_lo : float;
   mlu_hi : float;
   tunnels_per_pair : int;
@@ -26,6 +28,7 @@ let default_options =
     max_pairs = 240;
     max_scenarios = 150;
     scenario_cutoff = 1e-6;
+    scenario_mix = "independent";
     mlu_lo = 0.5;
     mlu_hi = 0.7;
     tunnels_per_pair = 3;
@@ -36,6 +39,34 @@ let default_options =
     median_failure_prob = 0.001;
     jobs = 0;
   }
+
+let known_regimes =
+  [ "independent"; "srlg"; "partial"; "drift"; "diurnal"; "maintenance" ]
+
+let parse_mix spec =
+  let tokens =
+    List.filter
+      (fun s -> s <> "")
+      (String.split_on_char ',' (String.lowercase_ascii (String.trim spec)))
+  in
+  if tokens = [] then invalid_arg "Builder: empty scenario mix";
+  List.iter
+    (fun t ->
+      if not (List.mem t known_regimes) then
+        invalid_arg
+          (Printf.sprintf
+             "Builder: unknown scenario regime %S (known: %s)" t
+             (String.concat ", " known_regimes)))
+    tokens;
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun t ->
+      if Hashtbl.mem seen t then false
+      else begin
+        Hashtbl.add seen t ();
+        true
+      end)
+    tokens
 
 let sample_pairs ~seed ~max_pairs graph =
   let all = Graph.pairs graph in
@@ -55,6 +86,91 @@ let scenarios_for ~options ~seed graph =
   in
   Failure_model.enumerate ~cutoff:options.scenario_cutoff
     ~max_scenarios:options.max_scenarios fm
+
+(* A deterministic weekly maintenance schedule for mixed-regime sets:
+   the two lowest-id links each get a 4-hour window out of a 168-hour
+   horizon, disjoint in time.  Purely a function of the topology. *)
+let default_maintenance graph =
+  let ne = Graph.nedges graph in
+  let windows =
+    if ne >= 2 then
+      [
+        {
+          Scenario_gen.wname = "mw-0";
+          wedges = [| 0 |];
+          wstart = 10.;
+          wduration = 4.;
+        };
+        { Scenario_gen.wname = "mw-1"; wedges = [| 1 |]; wstart = 60.; wduration = 4. };
+      ]
+    else
+      [ { Scenario_gen.wname = "mw-0"; wedges = [| 0 |]; wstart = 10.; wduration = 4. } ]
+  in
+  Scenario_gen.maintenance ~nedges:ne ~horizon:168. windows
+
+(* Enumerated scenario set for the configured mix.  The default
+   "independent" mix takes the legacy Failure_model path unchanged —
+   same PRNG draws, same enumeration — so every existing figure,
+   monitor artifact, and baseline stays byte-identical.  Mixed regimes
+   compose Scenario_gen generators, each drawing from its own
+   name-split seed. *)
+let scenario_set ~options ~seed ~graph ~npairs =
+  if String.equal options.scenario_mix "independent" then
+    (scenarios_for ~options ~seed graph, None)
+  else begin
+    let tokens = parse_mix options.scenario_mix in
+    let ne = Graph.nedges graph in
+    let gen_of = function
+      | "independent" ->
+          Scenario_gen.independent_links ~median:options.median_failure_prob
+            ~graph
+            ~seed:(Prng.split seed "independent")
+            ()
+      | "srlg" ->
+          Scenario_gen.srlg ~median:options.median_failure_prob ~nedges:ne
+            ~groups:(Flexile_net.Catalog.srlgs graph)
+            ~seed:(Prng.split seed "srlg")
+            ()
+      | "partial" ->
+          Scenario_gen.partial ~median:options.median_failure_prob ~graph
+            ~seed:(Prng.split seed "partial")
+            ()
+      | "drift" ->
+          let states =
+            Gravity.drift_states
+              ~seed:(Prng.split seed "drift")
+              ~npairs ()
+          in
+          Scenario_gen.demand_states ~nedges:ne ~name:"drift"
+            (Array.map
+               (fun (p, fs) -> (p, Scenario_gen.Per_pair fs))
+               states)
+      | "diurnal" ->
+          Scenario_gen.diurnal ~nedges:ne
+            ~levels:(Gravity.diurnal_levels ()) ()
+      | "maintenance" -> default_maintenance graph
+      | t -> invalid_arg ("Builder: unknown scenario regime " ^ t)
+    in
+    let gen = Scenario_gen.compose (List.map gen_of tokens) in
+    let set =
+      Scenario_gen.enumerate ~cutoff:options.scenario_cutoff
+        ~max_scenarios:options.max_scenarios ~npairs gen
+    in
+    (set.Scenario_gen.scenarios, set.Scenario_gen.pair_factors)
+  end
+
+(* Instance.make wants demand factors per (sid, fid) with
+   fid = class * npairs + pair; scenario generators perturb demand per
+   pair, uniformly across classes. *)
+let expand_pair_factors ~nclasses ~npairs pair_factors =
+  match pair_factors with
+  | None -> None
+  | Some pf ->
+      Some
+        (Array.map
+           (fun row ->
+             Array.init (nclasses * npairs) (fun fid -> row.(fid mod npairs)))
+           pf)
 
 (* Scale a gravity matrix so the no-failure min-MLU lands at a
    deterministic point of the paper's [0.5, 0.7] window. *)
@@ -104,11 +220,19 @@ let single_class ?(options = default_options) ~graph () =
     scaled_gravity ~options ~seed:(Prng.split seed "traffic") graph pairs
       tunnels_single
   in
-  let scenarios = scenarios_for ~options ~seed:(Prng.split seed "failures") graph in
+  let scenarios, pair_factors =
+    scenario_set ~options
+      ~seed:(Prng.split seed "failures")
+      ~graph ~npairs:(Array.length pairs)
+  in
+  let demand_factors =
+    expand_pair_factors ~nclasses:1 ~npairs:(Array.length pairs) pair_factors
+  in
   let inst =
     Instance.make ~graph
       ~classes:[| { Instance.cname = "all"; beta = Float.nan; weight = 1. } |]
-      ~pairs ~tunnels:[| tunnels_single |] ~demands:[| demands |] ~scenarios ()
+      ~pairs ~tunnels:[| tunnels_single |] ~demands:[| demands |]
+      ?demand_factors ~scenarios ()
   in
   finalize_betas inst
 
@@ -140,7 +264,14 @@ let two_class ?(options = default_options) ~graph () =
     Gravity.split_two_class ~seed:(Prng.split seed "split")
       ~low_scale:options.low_scale base
   in
-  let scenarios = scenarios_for ~options ~seed:(Prng.split seed "failures") graph in
+  let scenarios, pair_factors =
+    scenario_set ~options
+      ~seed:(Prng.split seed "failures")
+      ~graph ~npairs:(Array.length pairs)
+  in
+  let demand_factors =
+    expand_pair_factors ~nclasses:2 ~npairs:(Array.length pairs) pair_factors
+  in
   let inst =
     Instance.make ~graph
       ~classes:
@@ -150,7 +281,7 @@ let two_class ?(options = default_options) ~graph () =
         |]
       ~pairs
       ~tunnels:[| tunnels_high; tunnels_low |]
-      ~demands:[| high; low |] ~scenarios ()
+      ~demands:[| high; low |] ?demand_factors ~scenarios ()
   in
   finalize_betas inst
 

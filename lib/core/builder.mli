@@ -13,6 +13,15 @@ type options = {
           (keeps LPs laptop-scale; see DESIGN.md). Default 240. *)
   max_scenarios : int;  (** scenario enumeration cap. Default 150 *)
   scenario_cutoff : float;  (** probability cutoff. Default 1e-6 *)
+  scenario_mix : string;
+      (** comma-separated scenario regimes to compose:
+          ["independent"], ["srlg"], ["partial"], ["drift"],
+          ["diurnal"], ["maintenance"].  The default ["independent"]
+          takes the legacy {!Flexile_failure.Failure_model} path
+          bit-identically; anything else composes
+          {!Flexile_failure.Scenario_gen} generators (each on its own
+          name-split seed) and may attach per-scenario demand
+          factors. *)
   mlu_lo : float;  (** target MLU window, default [0.5, 0.7] *)
   mlu_hi : float;
   tunnels_per_pair : int;  (** default 3 *)
@@ -27,6 +36,27 @@ type options = {
 }
 
 val default_options : options
+
+val known_regimes : string list
+(** Scenario regimes accepted by [scenario_mix], for CLI help and
+    validation. *)
+
+val parse_mix : string -> string list
+(** Parse and validate a comma-separated mix spec (case-insensitive,
+    duplicates dropped).  Raises [Invalid_argument] on unknown
+    regimes or an empty spec. *)
+
+val scenario_set :
+  options:options ->
+  seed:Flexile_util.Prng.t ->
+  graph:Flexile_net.Graph.t ->
+  npairs:int ->
+  Flexile_failure.Failure_model.scenario array * float array array option
+(** Enumerated scenario set for the configured mix, plus optional
+    per-(scenario, pair) demand factors (present only when the mix
+    includes a demand regime).  With [scenario_mix = "independent"]
+    this is exactly the legacy enumeration — same PRNG draws, same
+    scenarios, no factors. *)
 
 val single_class :
   ?options:options -> graph:Flexile_net.Graph.t -> unit -> Flexile_te.Instance.t

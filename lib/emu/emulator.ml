@@ -68,7 +68,8 @@ let reconstruct_allocation inst ~sid ~model_losses =
     (fun e coeffs ->
       if coeffs <> [] then
         ignore
-          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+          (Lp_model.add_row model Lp_model.Le
+             (Instance.edge_capacity inst ~sid e)
              coeffs))
     per_edge;
   let sol = Simplex.solve model in
@@ -105,10 +106,12 @@ let link_pass_factors inst ~sid tunnel_traffic =
           t.Flexile_net.Tunnels.path)
       tunnel_traffic;
     for e = 0 to ne - 1 do
-      if not scen.Flexile_failure.Failure_model.edge_alive.(e) then
-        factors.(e) <- 0.
-      else if load.(e) > g.Graph.edges.(e).Graph.capacity then
-        factors.(e) <- g.Graph.edges.(e).Graph.capacity /. load.(e)
+      let cap =
+        g.Graph.edges.(e).Graph.capacity
+        *. scen.Flexile_failure.Failure_model.cap_frac.(e)
+      in
+      if cap <= 0. then factors.(e) <- 0.
+      else if load.(e) > cap then factors.(e) <- cap /. load.(e)
       else factors.(e) <- 1.
     done
   done;

@@ -1,10 +1,17 @@
+type state = { sprob : float; sfrac : float; sedges : int array }
+
 type t = {
   nedges : int;
   unit_probs : float array;
   unit_edges : int array array;
+  unit_states : state array array;
 }
 
 let clamp lo hi x = Float.max lo (Float.min hi x)
+
+(* A binary unit: one non-nominal state, a hard cut of every member
+   edge.  All the legacy constructors build these. *)
+let binary_states p edges = [| { sprob = p; sfrac = 0.; sedges = edges } |]
 
 let independent_links ?(median = 0.001) ?(shape = 0.8) ~graph ~seed () =
   let nedges = Flexile_net.Graph.nedges graph in
@@ -14,7 +21,13 @@ let independent_links ?(median = 0.001) ?(shape = 0.8) ~graph ~seed () =
     Array.init nedges (fun _ ->
         clamp 1e-5 0.3 (Flexile_util.Prng.weibull seed ~shape ~scale))
   in
-  { nedges; unit_probs; unit_edges = Array.init nedges (fun i -> [| i |]) }
+  {
+    nedges;
+    unit_probs;
+    unit_edges = Array.init nedges (fun i -> [| i |]);
+    unit_states =
+      Array.mapi (fun i p -> binary_states p [| i |]) unit_probs;
+  }
 
 let of_probs ~nedges probs =
   if Array.length probs <> nedges then invalid_arg "Failure_model.of_probs";
@@ -27,59 +40,153 @@ let of_probs ~nedges probs =
     nedges;
     unit_probs = Array.copy probs;
     unit_edges = Array.init nedges (fun i -> [| i |]);
+    unit_states = Array.mapi (fun i p -> binary_states p [| i |]) probs;
   }
 
 let grouped ~groups ~probs ~nedges =
   if Array.length groups <> Array.length probs then
     invalid_arg "Failure_model.grouped";
-  { nedges; unit_probs = Array.copy probs; unit_edges = Array.map Array.copy groups }
+  {
+    nedges;
+    unit_probs = Array.copy probs;
+    unit_edges = Array.map Array.copy groups;
+    unit_states =
+      Array.mapi (fun i p -> binary_states p (Array.copy groups.(i))) probs;
+  }
+
+(* Multi-state units: each unit is a set of mutually exclusive
+   non-nominal states.  The unit's total non-nominal mass is the SUM
+   of its state probabilities (the states are disjoint events of one
+   underlying cause), not the product complement that modelling each
+   state as an independent binary unit would give — that was the
+   binary up/down assumption baked into the old accounting, and it
+   double-counts mass as soon as a partial-capacity state joins the
+   enumeration alongside the hard-down state of the same link. *)
+let multi_state_full ~nedges units =
+  let n = Array.length units in
+  let unit_edges = Array.make n [||] in
+  let unit_states = Array.make n [||] in
+  let unit_probs = Array.make n 0. in
+  Array.iteri
+    (fun u states ->
+      if Array.length states = 0 then
+        invalid_arg "Failure_model.multi_state: unit with no states";
+      let total = ref 0. in
+      Array.iter
+        (fun (p, f, edges) ->
+          Array.iter
+            (fun e ->
+              if e < 0 || e >= nedges then
+                invalid_arg "Failure_model.multi_state: edge id out of range")
+            edges;
+          if p <= 0. || p >= 1. then
+            invalid_arg
+              "Failure_model.multi_state: state probability out of (0,1)";
+          if f < 0. || f >= 1. then
+            invalid_arg
+              "Failure_model.multi_state: capacity fraction out of [0,1)";
+          total := !total +. p)
+        states;
+      if !total >= 1. then
+        invalid_arg "Failure_model.multi_state: unit mass >= 1";
+      unit_edges.(u) <-
+        Array.of_list
+          (List.sort_uniq compare
+             (Array.fold_left
+                (fun acc (_, _, edges) -> Array.to_list edges @ acc)
+                [] states));
+      unit_states.(u) <-
+        Array.map
+          (fun (p, f, edges) ->
+            { sprob = p; sfrac = f; sedges = Array.copy edges })
+          states;
+      unit_probs.(u) <- !total)
+    units;
+  { nedges; unit_probs; unit_edges; unit_states }
+
+let multi_state ~nedges units =
+  multi_state_full ~nedges
+    (Array.map
+       (fun (edges, states) ->
+         Array.map (fun (p, f) -> (p, f, edges)) states)
+       units)
 
 type scenario = {
   sid : int;
   failed_units : int array;
+  failed_states : int array;
   prob : float;
   edge_alive : bool array;
+  cap_frac : float array;
 }
 
-let alive_of_failed t failed =
-  let alive = Array.make t.nedges true in
-  Array.iter
-    (fun u -> Array.iter (fun e -> alive.(e) <- false) t.unit_edges.(u))
+(* Per-edge capacity fraction of a scenario: product over the failed
+   units whose active state touches the edge (composition of
+   independent causes is multiplicative on capacity; for binary units
+   the product is 0).  The edge set is the STATE's, not the unit's:
+   states of a maintenance-calendar unit remove different links. *)
+let fracs_of_failed t failed states =
+  let frac = Array.make t.nedges 1. in
+  Array.iteri
+    (fun i u ->
+      let s = t.unit_states.(u).(states.(i)) in
+      Array.iter (fun e -> frac.(e) <- frac.(e) *. s.sfrac) s.sedges)
     failed;
-  alive
+  frac
 
+let alive_of_fracs frac = Array.map (fun f -> f > 0.) frac
+
+(* Probability that every unit sits in its nominal state.  Correct for
+   multi-state units because [unit_probs] is the unit's total
+   non-nominal mass. *)
 let base_prob t =
   Array.fold_left (fun acc p -> acc *. (1. -. p)) 1. t.unit_probs
 
-let scenario_prob t failed =
-  let odds u = t.unit_probs.(u) /. (1. -. t.unit_probs.(u)) in
-  Array.fold_left (fun acc u -> acc *. odds u) (base_prob t) failed
+let scenario_prob t failed states =
+  let odds i =
+    let u = failed.(i) in
+    t.unit_states.(u).(states.(i)).sprob /. (1. -. t.unit_probs.(u))
+  in
+  let acc = ref (base_prob t) in
+  Array.iteri (fun i _ -> acc := !acc *. odds i) failed;
+  !acc
 
 let no_failure t =
   {
     sid = 0;
     failed_units = [||];
+    failed_states = [||];
     prob = base_prob t;
     edge_alive = Array.make t.nedges true;
+    cap_frac = Array.make t.nedges 1.;
   }
 
-let scenario_of_units t ~sid failed =
-  let failed = Array.copy failed in
-  Array.sort compare failed;
+let scenario_of_states t ~sid pairs =
+  let pairs = Array.copy pairs in
+  Array.sort compare pairs;
+  let failed = Array.map fst pairs in
+  let states = Array.map snd pairs in
+  let cap_frac = fracs_of_failed t failed states in
   {
     sid;
     failed_units = failed;
-    prob = scenario_prob t failed;
-    edge_alive = alive_of_failed t failed;
+    failed_states = states;
+    prob = scenario_prob t failed states;
+    edge_alive = alive_of_fracs cap_frac;
+    cap_frac;
   }
 
+let scenario_of_units t ~sid failed =
+  scenario_of_states t ~sid (Array.map (fun u -> (u, 0)) failed)
+
 (* Best-first subset enumeration.  Each heap entry is a scenario whose
-   children extend the failed set with a strictly larger unit index;
-   since every odds ratio is < 1 (p < 0.5), children have smaller
-   probability than their parent, so the heap pops scenarios in
-   non-increasing probability order. *)
+   children extend the failed set with a state of a strictly larger
+   unit index; since every odds ratio is < 1 (total unit mass < 0.5,
+   so each state's mass is below the nominal mass), children have
+   smaller probability than their parent, so the heap pops scenarios
+   in non-increasing probability order. *)
 module Heap = struct
-  type entry = { p : float; last : int; failed : int list }
+  type entry = { p : float; last : int; failed : (int * int) list }
   type h = { mutable data : entry array; mutable size : int }
 
   let create () = { data = [||]; size = 0 }
@@ -139,7 +246,16 @@ let enumerate ?(cutoff = 1e-6) ?(max_scenarios = 400) t =
            best-first ordering")
     t.unit_probs;
   let nunits = Array.length t.unit_probs in
-  let odds = Array.map (fun p -> p /. (1. -. p)) t.unit_probs in
+  (* odds of unit u entering state s instead of staying nominal; the
+     denominator is the unit's NOMINAL mass 1 - sum(states), which is
+     what makes the enumerated probabilities of a multi-state unit sum
+     with its unenumerated tail to exactly 1 *)
+  let odds =
+    Array.mapi
+      (fun u states ->
+        Array.map (fun s -> s.sprob /. (1. -. t.unit_probs.(u))) states)
+      t.unit_states
+  in
   let heap = Heap.create () in
   Heap.push heap { Heap.p = base_prob t; last = -1; failed = [] };
   let out = ref [] in
@@ -151,20 +267,29 @@ let enumerate ?(cutoff = 1e-6) ?(max_scenarios = 400) t =
     | Some { Heap.p; last; failed } ->
         if p < cutoff then continue := false
         else begin
-          let failed_arr = Array.of_list (List.rev failed) in
+          let pairs = Array.of_list (List.rev failed) in
+          let failed_arr = Array.map fst pairs in
+          let states_arr = Array.map snd pairs in
+          let cap_frac = fracs_of_failed t failed_arr states_arr in
           out :=
             {
               sid = !count;
               failed_units = failed_arr;
+              failed_states = states_arr;
               prob = p;
-              edge_alive = alive_of_failed t failed_arr;
+              edge_alive = alive_of_fracs cap_frac;
+              cap_frac;
             }
             :: !out;
           incr count;
           for j = last + 1 to nunits - 1 do
-            let child_p = p *. odds.(j) in
-            if child_p >= cutoff then
-              Heap.push heap { Heap.p = child_p; last = j; failed = j :: failed }
+            Array.iteri
+              (fun s o ->
+                let child_p = p *. o in
+                if child_p >= cutoff then
+                  Heap.push heap
+                    { Heap.p = child_p; last = j; failed = (j, s) :: failed })
+              odds.(j)
           done
         end
   done;

@@ -1,16 +1,47 @@
 (** Stochastic failure model: shared-risk link groups (SRLGs) with
-    independent failure probabilities, and best-first enumeration of
-    the most probable disjoint failure scenarios.
+    independent failure probabilities, multi-state partial-capacity
+    units, and best-first enumeration of the most probable disjoint
+    failure scenarios.
 
     In the default model every link is its own SRLG with a
     Weibull-distributed failure probability whose median is ~0.001,
     matching the paper's §6 methodology and the WAN measurement
-    studies it cites. *)
+    studies it cites.
+
+    A {e unit} is an independent cause of degradation (a link, a
+    fiber conduit, a maintenance calendar).  Each unit has one or more
+    mutually exclusive non-nominal {e states}; a state carries the
+    capacity fraction its member edges retain (0 = hard cut, 0.3 = the
+    link limps at 30%).  The unit's nominal ("all good") mass is
+    [1 - sum of state probabilities]: the states are disjoint events
+    of one cause, so their masses ADD.  (Modelling each state as an
+    independent binary unit — the old binary up/down accounting —
+    multiplies complements instead and double-counts mass the moment a
+    partial-capacity state enters the enumeration next to the hard cut
+    of the same link; {!multi_state} is the corrected accounting, and
+    the binary constructors are the one-state special case for which
+    both accountings coincide.) *)
+
+(** One non-nominal state of a unit. *)
+type state = {
+  sprob : float;  (** probability of this state *)
+  sfrac : float;
+      (** capacity fraction retained by this state's edges, in [0, 1):
+          0 is a hard cut *)
+  sedges : int array;
+      (** edges degraded by this state.  For binary units and
+          {!multi_state} this is the unit's edge set; states of a
+          maintenance-calendar unit remove different links. *)
+}
 
 type t = {
   nedges : int;
-  unit_probs : float array;  (** failure probability of each SRLG *)
-  unit_edges : int array array;  (** SRLG -> edge ids failing together *)
+  unit_probs : float array;
+      (** total non-nominal probability of each unit (sum over its
+          states) *)
+  unit_edges : int array array;
+      (** unit -> union of the edge ids its states degrade *)
+  unit_states : state array array;  (** unit -> mutually exclusive states *)
 }
 
 val independent_links :
@@ -20,27 +51,54 @@ val independent_links :
   seed:Flexile_util.Prng.t ->
   unit ->
   t
-(** One SRLG per link; probabilities sampled from a Weibull whose
-    median is [median] (default 0.001), shape default 0.8, clamped to
-    [1e-5, 0.3]. *)
+(** One binary SRLG per link; probabilities sampled from a Weibull
+    whose median is [median] (default 0.001), shape default 0.8,
+    clamped to [1e-5, 0.3]. *)
 
 val of_probs : nedges:int -> float array -> t
-(** One SRLG per link with the given probabilities (testing and the
-    paper's toy examples where every link fails with 0.01). *)
+(** One binary SRLG per link with the given probabilities (testing and
+    the paper's toy examples where every link fails with 0.01). *)
 
 val grouped :
   groups:int array array -> probs:float array -> nedges:int -> t
-(** Explicit SRLGs: [groups.(i)] lists the edges failing together with
-    probability [probs.(i)]. *)
+(** Explicit binary SRLGs: [groups.(i)] lists the edges failing
+    together with probability [probs.(i)]. *)
 
-(** A failure scenario: a subset of SRLGs failed, all others alive.
-    Scenarios are disjoint events; probabilities of an enumeration sum
-    to at most 1. *)
+val multi_state : nedges:int -> (int array * (float * float) array) array -> t
+(** [multi_state ~nedges units] builds a general model.  Each unit is
+    [(edges, states)] where every state is [(probability, capacity
+    fraction)].  States of one unit are mutually exclusive; the unit is
+    nominal with probability [1 - sum of state probabilities].  Raises
+    [Invalid_argument] on out-of-range edges, probabilities outside
+    (0,1), fractions outside [0,1), or unit mass >= 1.  A unit may have
+    an empty edge set (callers such as {!Scenario_gen} use edge-free
+    units for demand perturbation states). *)
+
+val multi_state_full :
+  nedges:int -> (float * float * int array) array array -> t
+(** Like {!multi_state} but each state carries its own edge set:
+    [(probability, capacity fraction, edges)].  The unit's [unit_edges]
+    entry becomes the sorted union.  This is the exact encoding of a
+    maintenance calendar: non-overlapping windows are mutually
+    exclusive states of one unit, each removing its own links. *)
+
+(** A failure scenario: a subset of units in a non-nominal state, all
+    others nominal.  Scenarios are disjoint events; probabilities of an
+    enumeration sum to at most 1. *)
 type scenario = {
   sid : int;  (** dense index within the enumeration *)
-  failed_units : int array;
+  failed_units : int array;  (** ascending unit ids *)
+  failed_states : int array;
+      (** state index per failed unit, aligned with [failed_units]
+          (always 0 for binary units) *)
   prob : float;
-  edge_alive : bool array;  (** length [nedges] *)
+  edge_alive : bool array;
+      (** length [nedges]; an edge is alive iff its capacity fraction
+          is positive (a degraded link still carries traffic) *)
+  cap_frac : float array;
+      (** length [nedges]; remaining capacity fraction per edge, the
+          product over failed units touching it ([1.] nominal, [0.]
+          cut) *)
 }
 
 val no_failure : t -> scenario
@@ -49,11 +107,19 @@ val enumerate :
   ?cutoff:float -> ?max_scenarios:int -> t -> scenario array
 (** Scenarios in non-increasing probability order, stopping below
     probability [cutoff] (default 1e-6, the paper's threshold) or at
-    [max_scenarios] (default 400).  The no-failure scenario is first. *)
+    [max_scenarios] (default 400).  The no-failure scenario is first.
+    Raises [Invalid_argument] if any unit's total state mass is
+    >= 0.5 (best-first ordering needs every state less likely than the
+    nominal state). *)
 
 val coverage : scenario array -> float
-(** Total probability mass of the enumerated scenarios. *)
+(** Total probability mass of the enumerated scenarios.  The
+    unenumerated tail [1 - coverage] is well defined for multi-state
+    units because each unit's nominal mass is [1 - sum of states]. *)
 
 val scenario_of_units : t -> sid:int -> int array -> scenario
-(** Build a specific scenario (testing; probability computed from the
-    model). *)
+(** Build a specific scenario from failed unit ids, each in its first
+    state (testing; probability computed from the model). *)
+
+val scenario_of_states : t -> sid:int -> (int * int) array -> scenario
+(** Build a specific scenario from (unit, state index) pairs. *)

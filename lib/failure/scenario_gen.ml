@@ -1,0 +1,384 @@
+module FM = Failure_model
+module Prng = Flexile_util.Prng
+
+type demand_effect =
+  | No_change
+  | Scale of float
+  | Per_pair of float array
+
+type state = {
+  prob : float;
+  frac : float;
+  demand : demand_effect;
+  sedges : int array option;
+}
+
+type unit_gen = { uname : string; edges : int array; states : state array }
+type t = { nedges : int; units : unit_gen array }
+
+let mk_state ?(demand = No_change) ?sedges ~prob ~frac () =
+  { prob; frac; demand; sedges }
+
+let validate_unit ~nedges u =
+  let check_edges edges =
+    Array.iter
+      (fun e ->
+        if e < 0 || e >= nedges then
+          invalid_arg
+            (Printf.sprintf
+               "Scenario_gen: unit %s references edge %d out of range" u.uname
+               e))
+      edges
+  in
+  check_edges u.edges;
+  if Array.length u.states = 0 then
+    invalid_arg (Printf.sprintf "Scenario_gen: unit %s has no states" u.uname);
+  let total = ref 0. in
+  Array.iter
+    (fun s ->
+      if s.prob <= 0. || s.prob >= 1. then
+        invalid_arg
+          (Printf.sprintf "Scenario_gen: unit %s state probability out of (0,1)"
+             u.uname);
+      if s.frac < 0. || s.frac >= 1. then
+        invalid_arg
+          (Printf.sprintf "Scenario_gen: unit %s capacity fraction out of [0,1)"
+             u.uname);
+      (match s.sedges with None -> () | Some edges -> check_edges edges);
+      (match s.demand with
+      | No_change -> ()
+      | Scale f ->
+          if f < 0. || Float.is_nan f then
+            invalid_arg
+              (Printf.sprintf "Scenario_gen: unit %s negative demand scale"
+                 u.uname)
+      | Per_pair fs ->
+          Array.iter
+            (fun f ->
+              if f < 0. || Float.is_nan f then
+                invalid_arg
+                  (Printf.sprintf
+                     "Scenario_gen: unit %s negative per-pair demand factor"
+                     u.uname))
+            fs);
+      total := !total +. s.prob)
+    u.states;
+  if !total >= 0.5 then
+    invalid_arg
+      (Printf.sprintf
+         "Scenario_gen: unit %s total state mass %.3f >= 0.5 breaks best-first \
+          enumeration"
+         u.uname !total)
+
+let create ~nedges units =
+  let units = Array.of_list units in
+  Array.iter (validate_unit ~nedges) units;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun u ->
+      if Hashtbl.mem seen u.uname then
+        invalid_arg
+          (Printf.sprintf "Scenario_gen: duplicate unit name %s" u.uname);
+      Hashtbl.add seen u.uname ())
+    units;
+  { nedges; units }
+
+let compose gens =
+  match gens with
+  | [] -> invalid_arg "Scenario_gen.compose: empty"
+  | g0 :: rest ->
+      List.iter
+        (fun g ->
+          if g.nedges <> g0.nedges then
+            invalid_arg "Scenario_gen.compose: edge-count mismatch")
+        rest;
+      create ~nedges:g0.nedges
+        (List.concat_map (fun g -> Array.to_list g.units) gens)
+
+let nunits t = Array.length t.units
+
+(* ------------------------------------------------------------------ *)
+(* Generator families                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Identical sampling discipline to Failure_model.independent_links:
+   Weibull with the given median, clamped to [1e-5, 0.3].  Keeping the
+   expression bit-for-bit the same is what makes the singleton-SRLG
+   differential exact. *)
+let weibull_prob ?(median = 0.001) ?(shape = 0.8) seed =
+  let scale = median /. Float.pow (Float.log 2.) (1. /. shape) in
+  Float.max 1e-5 (Float.min 0.3 (Prng.weibull seed ~shape ~scale))
+
+let of_failure_model ?(prefix = "unit") (fm : FM.t) =
+  let units =
+    Array.to_list
+      (Array.mapi
+         (fun u edges ->
+           {
+             uname = Printf.sprintf "%s-%d" prefix u;
+             edges = Array.copy edges;
+             states =
+               Array.map
+                 (fun (s : FM.state) ->
+                   {
+                     prob = s.FM.sprob;
+                     frac = s.FM.sfrac;
+                     demand = No_change;
+                     sedges = Some (Array.copy s.FM.sedges);
+                   })
+                 fm.FM.unit_states.(u);
+           })
+         fm.FM.unit_edges)
+  in
+  create ~nedges:fm.FM.nedges units
+
+let independent_links ?median ?shape ~graph ~seed () =
+  of_failure_model ~prefix:"link"
+    (FM.independent_links ?median ?shape ~graph ~seed ())
+
+let srlg ?median ?shape ~nedges ~groups ~seed () =
+  let units =
+    Array.to_list
+      (Array.mapi
+         (fun gi group ->
+           let p = weibull_prob ?median ?shape seed in
+           {
+             uname = Printf.sprintf "srlg-%d" gi;
+             edges = Array.copy group;
+             states = [| mk_state ~prob:p ~frac:0. () |];
+           })
+         groups)
+  in
+  create ~nedges units
+
+let default_levels = [| (0., 0.5); (0.3, 0.3); (0.7, 0.2) |]
+
+let partial ?median ?shape ?(levels = default_levels) ~graph ~seed () =
+  let nedges = Flexile_net.Graph.nedges graph in
+  if Array.length levels = 0 then
+    invalid_arg "Scenario_gen.partial: no degradation levels";
+  let wtotal =
+    Array.fold_left
+      (fun a (_, w) ->
+        if w <= 0. then
+          invalid_arg "Scenario_gen.partial: level weights must be positive";
+        a +. w)
+      0. levels
+  in
+  let units =
+    List.init nedges (fun e ->
+        let p = weibull_prob ?median ?shape seed in
+        {
+          uname = Printf.sprintf "partial-%d" e;
+          edges = [| e |];
+          states =
+            Array.map
+              (fun (frac, w) -> mk_state ~prob:(p *. w /. wtotal) ~frac ())
+              levels;
+        })
+  in
+  create ~nedges units
+
+type window = {
+  wname : string;
+  wedges : int array;
+  wstart : float;
+  wduration : float;
+}
+
+(* Planned maintenance: a schedule of non-overlapping windows over an
+   abstract planning horizon.  A uniformly drawn instant lands inside
+   window w with probability wduration / horizon, and in at most one
+   window — so the schedule is exactly ONE multi-state unit whose
+   states are the windows, each removing its own links.  Purely a
+   function of the schedule: no clock, no seed. *)
+let maintenance ~nedges ~horizon windows =
+  if horizon <= 0. then invalid_arg "Scenario_gen.maintenance: horizon <= 0";
+  if windows = [] then invalid_arg "Scenario_gen.maintenance: no windows";
+  List.iter
+    (fun w ->
+      if w.wduration <= 0. then
+        invalid_arg
+          (Printf.sprintf "Scenario_gen.maintenance: window %s duration <= 0"
+             w.wname);
+      if w.wstart < 0. || w.wstart +. w.wduration > horizon then
+        invalid_arg
+          (Printf.sprintf
+             "Scenario_gen.maintenance: window %s outside the horizon" w.wname))
+    windows;
+  let sorted = List.sort (fun a b -> Float.compare a.wstart b.wstart) windows in
+  let rec check_overlap = function
+    | a :: (b :: _ as rest) ->
+        if a.wstart +. a.wduration > b.wstart then
+          invalid_arg
+            (Printf.sprintf
+               "Scenario_gen.maintenance: windows %s and %s overlap" a.wname
+               b.wname);
+        check_overlap rest
+    | _ -> ()
+  in
+  check_overlap sorted;
+  let union =
+    Array.of_list
+      (List.sort_uniq compare
+         (List.concat_map (fun w -> Array.to_list w.wedges) sorted))
+  in
+  create ~nedges
+    [
+      {
+        uname = "maintenance";
+        edges = union;
+        states =
+          Array.of_list
+            (List.map
+               (fun w ->
+                 mk_state
+                   ~prob:(w.wduration /. horizon)
+                   ~frac:0.
+                   ~sedges:(Array.copy w.wedges)
+                   ())
+               sorted);
+      };
+    ]
+
+let demand_states ~nedges ~name states =
+  if Array.length states = 0 then
+    invalid_arg "Scenario_gen.demand_states: no states";
+  create ~nedges
+    [
+      {
+        uname = name;
+        edges = [||];
+        states =
+          Array.map (fun (p, d) -> mk_state ~prob:p ~frac:0. ~demand:d ())
+            states;
+      };
+    ]
+
+let diurnal ~nedges ?(levels = [| (1.25, 0.2); (0.75, 0.2) |]) () =
+  demand_states ~nedges ~name:"diurnal"
+    (Array.map (fun (scale, p) -> (p, Scale scale)) levels)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type set = {
+  scenarios : FM.scenario array;
+  pair_factors : float array array option;
+}
+
+let to_failure_model t =
+  FM.multi_state_full ~nedges:t.nedges
+    (Array.map
+       (fun u ->
+         Array.map
+           (fun s ->
+             let edges =
+               match s.sedges with Some e -> e | None -> u.edges
+             in
+             (s.prob, s.frac, edges))
+           u.states)
+       t.units)
+
+let has_demand t =
+  Array.exists
+    (fun u ->
+      Array.exists
+        (fun s -> match s.demand with No_change -> false | _ -> true)
+        u.states)
+    t.units
+
+let inferred_npairs t =
+  Array.fold_left
+    (fun acc u ->
+      Array.fold_left
+        (fun acc s ->
+          match s.demand with
+          | Per_pair fs -> (
+              let n = Array.length fs in
+              match acc with
+              | None -> Some n
+              | Some m ->
+                  if m <> n then
+                    invalid_arg
+                      "Scenario_gen: inconsistent per-pair factor lengths";
+                  acc)
+          | _ -> acc)
+        acc u.states)
+    None t.units
+
+let pair_factors_of_scenario t ~npairs (s : FM.scenario) =
+  let factors = Array.make npairs 1. in
+  Array.iteri
+    (fun i u ->
+      match t.units.(u).states.(s.FM.failed_states.(i)).demand with
+      | No_change -> ()
+      | Scale f ->
+          for p = 0 to npairs - 1 do
+            factors.(p) <- factors.(p) *. f
+          done
+      | Per_pair fs ->
+          for p = 0 to npairs - 1 do
+            factors.(p) <- factors.(p) *. fs.(p)
+          done)
+    s.FM.failed_units;
+  factors
+
+let enumerate ?cutoff ?max_scenarios ?npairs t =
+  let scenarios = FM.enumerate ?cutoff ?max_scenarios (to_failure_model t) in
+  let pair_factors =
+    if not (has_demand t) then None
+    else begin
+      let npairs =
+        match (npairs, inferred_npairs t) with
+        | Some n, Some m ->
+            if n <> m then invalid_arg "Scenario_gen.enumerate: npairs mismatch";
+            n
+        | Some n, None -> n
+        | None, Some m -> m
+        | None, None ->
+            invalid_arg
+              "Scenario_gen.enumerate: npairs required for uniform demand \
+               states"
+      in
+      Some (Array.map (pair_factors_of_scenario t ~npairs) scenarios)
+    end
+  in
+  { scenarios; pair_factors }
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo draws (statistical tests, monitors)                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample t rng =
+  Array.map
+    (fun u ->
+      let x = Prng.float rng in
+      let acc = ref 0. and hit = ref (-1) in
+      Array.iteri
+        (fun s st ->
+          if !hit < 0 then begin
+            acc := !acc +. st.prob;
+            if x < !acc then hit := s
+          end)
+        u.states;
+      !hit)
+    t.units
+
+let edge_down_prob t e =
+  (* an edge is hard-down iff at least one unit sits in a frac-0 state
+     whose edge set contains it; units are independent *)
+  let up = ref 1. in
+  Array.iter
+    (fun u ->
+      let down = ref 0. in
+      Array.iter
+        (fun s ->
+          let edges = match s.sedges with Some es -> es | None -> u.edges in
+          if s.frac <= 0. && Array.exists (fun e' -> e' = e) edges then
+            down := !down +. s.prob)
+        u.states;
+      up := !up *. (1. -. !down))
+    t.units;
+  1. -. !up

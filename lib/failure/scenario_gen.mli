@@ -1,0 +1,181 @@
+(** Composable scenario generators: shared-risk link groups, partial
+    capacity degradation, demand drift, and planned maintenance
+    windows — all lowering to the same enumerated
+    [(probability, capacity_vector, demand_vector)] scenario-set
+    interface that {!Failure_model} produces, so every consumer
+    ({!Flexile_te.Scenario_engine}, the offline MIP, schemes, figures,
+    the monitor, the bench gate) takes mixed-regime sets without
+    per-scheme changes.
+
+    A generator is a set of independent {e units}; a unit is one cause
+    of degradation with mutually exclusive non-nominal states (see
+    {!Failure_model}).  Generators over the same edge count {!compose}
+    by concatenating their unit lists, and {!enumerate} lowers the
+    composition through {!Failure_model.enumerate} in best-first
+    order.
+
+    Seeding discipline: every stochastic constructor takes an explicit
+    {!Flexile_util.Prng.t} and draws from it in unit order, so a
+    generator is a pure function of [(topology, seed, parameters)].
+    The maintenance generator takes no seed at all — it is a pure
+    function of the schedule.  Nothing here reads a clock.
+
+    This library cannot depend on [lib/traffic]; demand-drift state
+    vectors (gravity perturbation, diurnal levels) are produced by
+    {!Flexile_traffic.Gravity} and passed in through {!demand_states}
+    / {!diurnal} by the builder layer. *)
+
+(** Demand-side effect of a state on the traffic matrix. *)
+type demand_effect =
+  | No_change
+  | Scale of float  (** uniform scaling of every pair's demand *)
+  | Per_pair of float array  (** per-pair multiplicative factors *)
+
+(** One non-nominal state of a unit. *)
+type state = {
+  prob : float;  (** probability, in (0, 1) *)
+  frac : float;  (** capacity fraction retained, in [0, 1) *)
+  demand : demand_effect;
+  sedges : int array option;
+      (** per-state edge override ([None] = the unit's edges); used by
+          maintenance windows, whose states remove different links *)
+}
+
+type unit_gen = {
+  uname : string;  (** unique within a generator; survives composition *)
+  edges : int array;
+  states : state array;
+}
+
+type t = { nedges : int; units : unit_gen array }
+
+val create : nedges:int -> unit_gen list -> t
+(** Validates edge ranges, state probabilities (each in (0,1), total
+    < 0.5 per unit — the best-first enumeration bound), capacity
+    fractions, demand factors, and unit-name uniqueness.  Raises
+    [Invalid_argument] with a descriptive message otherwise. *)
+
+val compose : t list -> t
+(** Concatenate the unit lists of generators over the same edge count.
+    Unit names must remain unique across the composition.  Scenario
+    probabilities multiply because units are independent. *)
+
+val nunits : t -> int
+
+(** {1 Generator families} *)
+
+val of_failure_model : ?prefix:string -> Failure_model.t -> t
+(** Wrap an existing failure model as a generator (unit names
+    [prefix-i], default prefix ["unit"]). *)
+
+val independent_links :
+  ?median:float ->
+  ?shape:float ->
+  graph:Flexile_net.Graph.t ->
+  seed:Flexile_util.Prng.t ->
+  unit ->
+  t
+(** The legacy regime: one binary unit per link, Weibull-sampled
+    probabilities.  Delegates to {!Failure_model.independent_links},
+    so for a given seed the enumerated scenario set is bit-identical
+    to the legacy model's. *)
+
+val srlg :
+  ?median:float ->
+  ?shape:float ->
+  nedges:int ->
+  groups:int array array ->
+  seed:Flexile_util.Prng.t ->
+  unit ->
+  t
+(** Shared-risk link groups: [groups.(i)] lists edges cut atomically
+    (a fiber conduit), with one Weibull-sampled hazard per group drawn
+    in group order (median default 0.001, shape default 0.8, clamped
+    to [1e-5, 0.3] — the same discipline as the per-link model).
+    With singleton groups this reproduces {!independent_links}
+    bit-identically for the same seed. *)
+
+val default_levels : (float * float) array
+(** Default partial-degradation levels [(fraction, weight)]:
+    hard cut (frac 0, weight 0.5), 30% (weight 0.3), 70% (weight
+    0.2). *)
+
+val partial :
+  ?median:float ->
+  ?shape:float ->
+  ?levels:(float * float) array ->
+  graph:Flexile_net.Graph.t ->
+  seed:Flexile_util.Prng.t ->
+  unit ->
+  t
+(** Partial-capacity degradation: per link, a Weibull-sampled total
+    degradation probability split across [levels] by weight, so a
+    degraded link may survive at a fraction of capacity instead of
+    binary down.  Level fractions must be in [0, 1) and weights
+    positive. *)
+
+type window = {
+  wname : string;
+  wedges : int array;  (** links removed while the window is active *)
+  wstart : float;  (** offset into the planning horizon *)
+  wduration : float;
+}
+
+val maintenance : nedges:int -> horizon:float -> window list -> t
+(** Planned maintenance: deterministic link removal over a schedule.
+    A uniformly drawn instant lands inside window [w] with probability
+    [w.wduration /. horizon] and in at most one window, so the
+    schedule lowers to exactly one multi-state unit whose states are
+    the windows (each removing its own [wedges]).  Wall-clock-free and
+    seedless: the same schedule always yields the same generator.
+    Raises [Invalid_argument] on overlapping windows, windows outside
+    the horizon, nonpositive durations, or total maintenance mass
+    >= 0.5. *)
+
+val demand_states :
+  nedges:int -> name:string -> (float * demand_effect) array -> t
+(** An edge-free unit whose states perturb the traffic matrix:
+    [(probability, effect)] per state.  The builder layer feeds
+    gravity-perturbation vectors from {!Flexile_traffic.Gravity} in
+    here. *)
+
+val diurnal : nedges:int -> ?levels:(float * float) array -> unit -> t
+(** Diurnal demand scaling as an edge-free unit: [levels] is
+    [(scale, probability)] per level (default peak 1.25 and trough
+    0.75 at probability 0.2 each, nominal mass 0.6). *)
+
+(** {1 Lowering and enumeration} *)
+
+val to_failure_model : t -> Failure_model.t
+(** Lower the composition to a {!Failure_model} (demand effects are
+    erased — they live in {!set.pair_factors}). *)
+
+type set = {
+  scenarios : Failure_model.scenario array;
+  pair_factors : float array array option;
+      (** [pair_factors.(sid).(pair)] multiplies the nominal demand of
+          [pair] in scenario [sid]; [None] when no unit carries a
+          demand effect (capacity-only generators) *)
+}
+
+val enumerate :
+  ?cutoff:float -> ?max_scenarios:int -> ?npairs:int -> t -> set
+(** Best-first enumeration via {!Failure_model.enumerate} (same
+    defaults: cutoff 1e-6, max 400 scenarios), plus per-scenario
+    demand factors folded multiplicatively over the failed units'
+    states.  [npairs] is required when demand effects are all uniform
+    {!Scale}s; with {!Per_pair} effects it is inferred (and checked
+    for consistency). *)
+
+(** {1 Monte-Carlo draws} *)
+
+val sample : t -> Flexile_util.Prng.t -> int array
+(** Draw one joint state: per unit, the index of its active state or
+    [-1] for nominal.  One uniform draw per unit, in unit order —
+    deterministic for a given PRNG state.  Used by the statistical
+    tests and the monitor's draw stream. *)
+
+val edge_down_prob : t -> int -> float
+(** Analytic probability that an edge is hard-down (some unit in a
+    frac-0 state containing it), under unit independence.  Reference
+    value for the statistical tests. *)

@@ -62,6 +62,44 @@ let by_name name =
 let all () = List.map (fun ((name, _, _) as e) -> (name, build e)) table2
 let continental () = build continental_entry
 
+(* Shared-risk link groups for a catalog topology, derived
+   deterministically from the topology name: conduits leaving a site
+   share fate (backhoe cuts the whole bundle), so at a sampled subset
+   of nodes we bundle 2-3 incident links into one group.  Every edge
+   lands in exactly one group; edges not captured by a bundle are
+   singleton groups, which keeps the SRLG model a strict refinement of
+   the independent-links one. *)
+let srlgs (g : Graph.t) =
+  let seed = Flexile_util.Prng.of_string ("flexile-srlg-" ^ g.Graph.name) in
+  let ne = Graph.nedges g in
+  let assigned = Array.make ne false in
+  let groups = ref [] in
+  (* visit sites in a seeded shuffle; roughly one in three sites hosts
+     a conduit bundle *)
+  let order = Array.init g.Graph.n (fun i -> i) in
+  Flexile_util.Prng.shuffle seed order;
+  Array.iter
+    (fun node ->
+      if Flexile_util.Prng.int seed 3 = 0 then begin
+        let unassigned =
+          List.filter_map
+            (fun (eid, _) -> if assigned.(eid) then None else Some eid)
+            g.Graph.adj.(node)
+        in
+        let unassigned = List.sort_uniq compare unassigned in
+        let take = min (2 + Flexile_util.Prng.int seed 2) (List.length unassigned) in
+        if take >= 2 then begin
+          let members = Array.of_list (List.filteri (fun i _ -> i < take) unassigned) in
+          Array.iter (fun eid -> assigned.(eid) <- true) members;
+          groups := members :: !groups
+        end
+      end)
+    order;
+  for eid = ne - 1 downto 0 do
+    if not assigned.(eid) then groups := [| eid |] :: !groups
+  done;
+  Array.of_list !groups
+
 let triangle () =
   Graph.create ~name:"triangle" ~n:3 [| (0, 1, 1.); (0, 2, 1.); (1, 2, 1.) |]
 

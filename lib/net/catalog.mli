@@ -19,6 +19,14 @@ val continental : unit -> Graph.t
     seeded scheme.  Sized for the sparse LU simplex; the dense
     reference solver is not expected to handle it. *)
 
+val srlgs : Graph.t -> int array array
+(** Shared-risk link-group annotation for a catalog topology, derived
+    deterministically from the topology name (seeded, no global
+    state): a sampled subset of sites bundles 2-3 of its incident
+    links into one fate-sharing conduit group; every remaining edge is
+    its own singleton group.  Every edge appears in exactly one
+    group. *)
+
 val triangle : unit -> Graph.t
 (** Fig. 1: nodes A=0, B=1, C=2, three unit-capacity links. *)
 

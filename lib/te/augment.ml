@@ -72,7 +72,8 @@ let min_cost ?(options = { Flexile_lp.Mip.default_options with node_limit = 3000
       (fun e coeffs ->
         if coeffs <> [] && scen.Failure_model.edge_alive.(e) then
           ignore
-            (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+            (Lp_model.add_row model Lp_model.Le
+               (Instance.edge_capacity inst ~sid:q e)
                ((delta.(e), -1.) :: coeffs)))
       per_edge;
     Array.iter

@@ -90,9 +90,14 @@ let run_common ~adaptive ?beta ?jobs inst =
     Array.iteri
       (fun e coeffs ->
         if coeffs <> [] then
-          ignore
-            (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
-               coeffs))
+          (* adaptive: per-scenario routing sees the degraded capacity;
+             static: one routing against nominal capacities, losses
+             evaluated per scenario downstream *)
+          let cap =
+            if adaptive then Instance.edge_capacity inst ~sid:qx e
+            else g.Graph.edges.(e).Graph.capacity
+          in
+          ignore (Lp_model.add_row model Lp_model.Le cap coeffs))
       per_edge
   done;
   let delivered xval ~pair ~q =

@@ -209,14 +209,9 @@ let build_template ?sid inst ~with_gamma =
 
 let scenario_rhs inst tpl ~sid ~z ~scen_loss_opt ~gamma =
   let rhs = Array.copy tpl.base_rhs in
-  let scen = inst.Instance.scenarios.(sid) in
   Array.iteri
     (fun e row ->
-      if row >= 0 then
-        rhs.(row) <-
-          (if scen.Failure_model.edge_alive.(e) then
-             inst.Instance.graph.Graph.edges.(e).Graph.capacity
-           else 0.))
+      if row >= 0 then rhs.(row) <- Instance.edge_capacity inst ~sid e)
     tpl.cap_row;
   Array.iter
     (fun (f : Instance.flow) ->
@@ -266,15 +261,10 @@ let extract_dual inst tpl (sol : Simplex.solution) rhs =
 
 (* Instantiate a dual certificate as a cut for a target scenario. *)
 let cut_for inst di ~target ~scen_loss_opt ~gamma =
-  let scen = inst.Instance.scenarios.(target) in
   let const = ref di.fixed in
   Array.iter
     (fun (e, d) ->
-      let cap =
-        if scen.Failure_model.edge_alive.(e) then
-          inst.Instance.graph.Graph.edges.(e).Graph.capacity
-        else 0.
-      in
+      let cap = Instance.edge_capacity inst ~sid:target e in
       const := !const +. (d *. cap))
     di.cap_duals;
   Array.iter

@@ -108,6 +108,10 @@ let demand_in t (f : flow) sid =
   | None -> f.demand
   | Some df -> f.demand *. df.(sid).(f.fid)
 
+let edge_capacity t ~sid e =
+  t.graph.Graph.edges.(e).Graph.capacity
+  *. t.scenarios.(sid).Failure_model.cap_frac.(e)
+
 let with_classes t classes =
   if Array.length classes <> Array.length t.classes then
     invalid_arg "Instance.with_classes: class count mismatch";

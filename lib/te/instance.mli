@@ -55,6 +55,11 @@ val demand_in : t -> flow -> int -> float
 (** Effective demand of a flow in a scenario (base demand times the
     scenario's demand factor, if any). *)
 
+val edge_capacity : t -> sid:int -> int -> float
+(** Effective capacity of an edge in a scenario: nominal capacity
+    times the scenario's remaining-capacity fraction (1 when nominal,
+    0 when cut, in between for partial degradation). *)
+
 val with_classes : t -> cls array -> t
 (** Same instance with replaced class metadata (same class count);
     used to fill in the design target beta once connectivity of the

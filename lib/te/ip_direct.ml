@@ -59,7 +59,8 @@ let solve ?(options = { Flexile_lp.Mip.default_options with node_limit = 2000; t
       (fun e coeffs ->
         if coeffs <> [] then
           ignore
-            (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+            (Lp_model.add_row model Lp_model.Le
+               (Instance.edge_capacity inst ~sid:q e)
                coeffs))
       per_edge;
     Array.iter

@@ -1,6 +1,5 @@
 module Lp_model = Flexile_lp.Lp_model
 module Simplex = Flexile_lp.Simplex
-module Graph = Flexile_net.Graph
 module Tbl = Flexile_util.Tbl
 
 (* Maximum volume a single flow can push over a subset of its tunnels
@@ -10,7 +9,6 @@ let max_alone inst (f : Instance.flow) sid =
   let alive = inst.Instance.alive_tunnels.(sid).(f.Instance.cls).(f.Instance.pair) in
   if Array.length alive = 0 then 0.
   else begin
-    let g = inst.Instance.graph in
     let model = Lp_model.create ~name:"isolated" () in
     let vars = Array.map (fun _ -> Lp_model.add_var model ~obj:(-1.) ()) alive in
     let per_edge = Hashtbl.create 16 in
@@ -28,7 +26,8 @@ let max_alone inst (f : Instance.flow) sid =
     Tbl.sorted_iter
       (fun e coeffs ->
         ignore
-          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+          (Lp_model.add_row model Lp_model.Le
+             (Instance.edge_capacity inst ~sid e)
              coeffs))
       per_edge;
     (* cap at the demand so the LP stays bounded *)

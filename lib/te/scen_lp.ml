@@ -88,7 +88,8 @@ let build inst ~sid =
     (fun e coeffs ->
       if coeffs <> [] then
         ignore
-          (Lp_model.add_row model Lp_model.Le g.Graph.edges.(e).Graph.capacity
+          (Lp_model.add_row model Lp_model.Le
+             (Instance.edge_capacity inst ~sid e)
              coeffs))
     per_edge;
   { inst; sid; model; x; l; demand_rows }

@@ -17,6 +17,37 @@ let scale_to_mlu ~mlu ~target demands =
   let f = target /. m in
   Array.map (fun d -> d *. f) demands
 
+(* Multiplicative log-normal-ish perturbation of a traffic matrix:
+   exp(sigma * z) per pair with z ~ N(0,1) via a Box-Muller-free sum
+   of uniforms would bias the tails, so use the PRNG's gaussian if
+   available; Prng exposes uniform, so approximate N(0,1) with the
+   sum of 12 uniforms minus 6 (Irwin-Hall), which is standard for
+   drift factors and keeps the draw count fixed at 12 per pair. *)
+let perturb ~seed ~sigma demands =
+  if sigma < 0. then invalid_arg "Gravity.perturb: negative sigma";
+  Array.map
+    (fun d ->
+      let z = ref 0. in
+      for _ = 1 to 12 do
+        z := !z +. Flexile_util.Prng.uniform seed 0. 1.
+      done;
+      d *. Float.exp (sigma *. (!z -. 6.)))
+    demands
+
+let drift_states ~seed ~npairs ?(sigma = 0.1) ?(nstates = 2)
+    ?(total_prob = 0.2) () =
+  if nstates <= 0 then invalid_arg "Gravity.drift_states: nstates <= 0";
+  if total_prob <= 0. || total_prob >= 0.5 then
+    invalid_arg "Gravity.drift_states: total probability out of (0,0.5)";
+  let p = total_prob /. float_of_int nstates in
+  let ones = Array.make npairs 1. in
+  Array.init nstates (fun _ -> (p, perturb ~seed ~sigma ones))
+
+let diurnal_levels ?(amplitude = 0.25) () =
+  if amplitude <= 0. || amplitude >= 1. then
+    invalid_arg "Gravity.diurnal_levels: amplitude out of (0,1)";
+  [| (1. +. amplitude, 0.2); (1. -. amplitude, 0.2) |]
+
 let split_two_class ~seed ~low_scale demands =
   let high = Array.make (Array.length demands) 0. in
   let low = Array.make (Array.length demands) 0. in

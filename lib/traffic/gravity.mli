@@ -25,6 +25,34 @@ val scale_to_mlu :
     optimal-routing MLU is).  Raises [Invalid_argument] if the MLU of
     the input is not positive. *)
 
+val perturb :
+  seed:Flexile_util.Prng.t -> sigma:float -> float array -> float array
+(** Multiplicative drift: each pair's demand times
+    [exp (sigma * z)] with [z] approximately standard normal
+    (Irwin-Hall sum of 12 uniforms; exactly 12 draws per pair, so the
+    PRNG stream position is a pure function of the pair count).
+    [sigma = 0] is the identity. *)
+
+val drift_states :
+  seed:Flexile_util.Prng.t ->
+  npairs:int ->
+  ?sigma:float ->
+  ?nstates:int ->
+  ?total_prob:float ->
+  unit ->
+  (float * float array) array
+(** Demand-drift states for a scenario generator: [nstates] (default
+    2) perturbation vectors of per-pair factors around 1 (sigma
+    default 0.1), each carrying probability [total_prob / nstates]
+    (total default 0.2, must stay below the 0.5 enumeration bound).
+    Feed to [Scenario_gen.demand_states] via the builder. *)
+
+val diurnal_levels : ?amplitude:float -> unit -> (float * float) array
+(** Diurnal scaling levels [(scale, probability)] for
+    [Scenario_gen.diurnal]: peak [1 + amplitude] and trough
+    [1 - amplitude] (default amplitude 0.25) at probability 0.2
+    each. *)
+
 val split_two_class :
   seed:Flexile_util.Prng.t ->
   low_scale:float ->

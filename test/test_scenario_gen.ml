@@ -1,0 +1,560 @@
+(* Tests for the scenario-generator subsystem: per-family property
+   tests (mass accounting, capacity bounds, SRLG atomicity,
+   maintenance determinism), statistical tests against analytic
+   probabilities (3-sigma binomial bounds on a large seeded sample),
+   differential tests (singleton-SRLG vs the legacy independent model,
+   bit-for-bit; mixed-regime sweeps at --jobs 1 vs 4), and the
+   regression pinning the multi-state mass-accounting fix. *)
+
+module FM = Flexile_failure.Failure_model
+module SG = Flexile_failure.Scenario_gen
+module Prng = Flexile_util.Prng
+module Fc = Flexile_util.Float_cmp
+module Instance = Flexile_te.Instance
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let ibm () = Flexile_net.Catalog.by_name "IBM"
+
+(* exhaustive enumeration: no cutoff, cap far above any test model *)
+let exhaustive gen = SG.enumerate ~cutoff:0. ~max_scenarios:100_000 gen
+
+(* ---------- property tests ---------- *)
+
+(* Probability mass of the full enumeration sums to 1 for every
+   generator family and for their composition. *)
+let test_mass_sums_to_one () =
+  let graph = Flexile_net.Catalog.triangle () in
+  let seed name = Prng.of_string ("sg-mass-" ^ name) in
+  let gens =
+    [
+      ("independent", SG.independent_links ~graph ~seed:(seed "ind") ());
+      ( "srlg",
+        SG.srlg ~nedges:3
+          ~groups:[| [| 0; 1 |]; [| 2 |] |]
+          ~seed:(seed "srlg") () );
+      ("partial", SG.partial ~graph ~seed:(seed "partial") ());
+      ( "maintenance",
+        SG.maintenance ~nedges:3 ~horizon:100.
+          [
+            { SG.wname = "a"; wedges = [| 0 |]; wstart = 0.; wduration = 5. };
+            { SG.wname = "b"; wedges = [| 1; 2 |]; wstart = 10.; wduration = 3. };
+          ] );
+      ("diurnal", SG.diurnal ~nedges:3 ());
+    ]
+  in
+  List.iter
+    (fun (name, gen) ->
+      let set = SG.enumerate ~cutoff:0. ~max_scenarios:100_000 ~npairs:2 gen in
+      let mass = FM.coverage set.SG.scenarios in
+      if not (Fc.eq mass 1.) then
+        Alcotest.failf "%s: total mass %.12f, expected 1" name mass)
+    gens;
+  (* composition of all capacity families *)
+  let composed =
+    SG.compose (List.map snd (List.filteri (fun i _ -> i < 4) gens))
+  in
+  let set = exhaustive composed in
+  let mass = FM.coverage set.SG.scenarios in
+  if not (Fc.eq mass 1.) then
+    Alcotest.failf "composed: total mass %.12f, expected 1" mass
+
+(* A truncated enumeration plus its unenumerated tail is a probability
+   distribution: coverage never exceeds 1 and decreases monotonically
+   with a tighter cap. *)
+let test_truncated_coverage () =
+  let graph = ibm () in
+  let gen =
+    SG.compose
+      [
+        SG.partial ~graph ~seed:(Prng.of_string "sg-cov") ();
+        SG.srlg
+          ~nedges:(Flexile_net.Graph.nedges graph)
+          ~groups:(Flexile_net.Catalog.srlgs graph)
+          ~seed:(Prng.of_string "sg-cov-srlg") ();
+      ]
+  in
+  let c40 =
+    FM.coverage (SG.enumerate ~max_scenarios:40 gen).SG.scenarios
+  in
+  let c150 =
+    FM.coverage (SG.enumerate ~max_scenarios:150 gen).SG.scenarios
+  in
+  if c40 > 1. +. 1e-9 || c150 > 1. +. 1e-9 then
+    Alcotest.fail "coverage exceeds 1";
+  if c40 > c150 +. 1e-12 then
+    Alcotest.fail "coverage not monotone in the enumeration cap"
+
+(* Every enumerated cap_frac is in [0, 1], and for the partial family
+   it is a member of the configured level set (or nominal 1). *)
+let test_partial_fraction_bounds () =
+  let graph = ibm () in
+  let levels = [| (0., 0.4); (0.25, 0.4); (0.6, 0.2) |] in
+  let gen = SG.partial ~levels ~graph ~seed:(Prng.of_string "sg-frac") () in
+  let set = SG.enumerate ~max_scenarios:200 gen in
+  let allowed = 1. :: Array.to_list (Array.map fst levels) in
+  Array.iter
+    (fun (s : FM.scenario) ->
+      Array.iter
+        (fun f ->
+          if f < 0. || f > 1. then Alcotest.failf "cap_frac %f out of [0,1]" f;
+          if not (List.exists (fun a -> Fc.eq ~eps:1e-12 a f) allowed) then
+            Alcotest.failf "cap_frac %f not in the configured level set" f)
+        s.FM.cap_frac;
+      (* alive mask must be derived from the fraction *)
+      Array.iteri
+        (fun e alive ->
+          if alive <> (s.FM.cap_frac.(e) > 0.) then
+            Alcotest.fail "edge_alive inconsistent with cap_frac")
+        s.FM.edge_alive)
+    set.SG.scenarios
+
+(* Effective capacities stay within [0, nominal] through the Instance
+   layer. *)
+let test_effective_capacity_bounds () =
+  let options =
+    {
+      Flexile_core.Builder.default_options with
+      Flexile_core.Builder.scenario_mix = "srlg,partial";
+      max_scenarios = 40;
+      max_pairs = 30;
+    }
+  in
+  let inst = Flexile_core.Builder.of_name ~options "Sprint" in
+  let g = inst.Instance.graph in
+  for sid = 0 to Instance.nscenarios inst - 1 do
+    Array.iteri
+      (fun e (edge : Flexile_net.Graph.edge) ->
+        let c = Instance.edge_capacity inst ~sid e in
+        if c < 0. || c > edge.Flexile_net.Graph.capacity +. 1e-12 then
+          Alcotest.failf "effective capacity %f outside [0, %f]" c
+            edge.Flexile_net.Graph.capacity)
+      g.Flexile_net.Graph.edges
+  done
+
+(* SRLG members fail atomically: in every enumerated scenario of a
+   pure SRLG generator, each group is either fully dead or fully
+   alive. *)
+let test_srlg_atomicity () =
+  let graph = ibm () in
+  let groups = Flexile_net.Catalog.srlgs graph in
+  let gen =
+    SG.srlg
+      ~nedges:(Flexile_net.Graph.nedges graph)
+      ~groups ~seed:(Prng.of_string "sg-atomic") ()
+  in
+  let set = SG.enumerate ~max_scenarios:300 gen in
+  Array.iter
+    (fun (s : FM.scenario) ->
+      Array.iter
+        (fun group ->
+          let dead =
+            Array.fold_left
+              (fun acc e -> acc + (if s.FM.edge_alive.(e) then 0 else 1))
+              0 group
+          in
+          if dead <> 0 && dead <> Array.length group then
+            Alcotest.failf "scenario %d: group partially failed (%d/%d)"
+              s.FM.sid dead (Array.length group))
+        groups)
+    set.SG.scenarios;
+  (* every edge is covered by exactly one group *)
+  let ne = Flexile_net.Graph.nedges graph in
+  let count = Array.make ne 0 in
+  Array.iter (Array.iter (fun e -> count.(e) <- count.(e) + 1)) groups;
+  Array.iteri
+    (fun e c ->
+      if c <> 1 then Alcotest.failf "edge %d in %d groups, expected 1" e c)
+    count
+
+(* Maintenance: wall-clock-free determinism, exclusive windows, and
+   schedule validation. *)
+let test_maintenance () =
+  let windows =
+    [
+      { SG.wname = "w0"; wedges = [| 0 |]; wstart = 0.; wduration = 10. };
+      { SG.wname = "w1"; wedges = [| 1; 2 |]; wstart = 20.; wduration = 5. };
+    ]
+  in
+  let gen () = SG.maintenance ~nedges:4 ~horizon:168. windows in
+  let s1 = (exhaustive (gen ())).SG.scenarios in
+  let s2 = (exhaustive (gen ())).SG.scenarios in
+  (* same schedule -> identical sets, bit for bit, on repeated calls
+     (nothing reads a clock or a global RNG) *)
+  Alcotest.(check int) "same count" (Array.length s1) (Array.length s2);
+  Array.iteri
+    (fun i (a : FM.scenario) ->
+      let b = s2.(i) in
+      if not (Fc.exactly_equal a.FM.prob b.FM.prob) then
+        Alcotest.fail "maintenance probabilities differ across calls";
+      if a.FM.edge_alive <> b.FM.edge_alive then
+        Alcotest.fail "maintenance alive masks differ across calls")
+    s1;
+  (* nominal + one scenario per window: windows are mutually exclusive
+     states of one unit, never jointly active *)
+  Alcotest.(check int) "nominal + 2 windows" 3 (Array.length s1);
+  let w0 = 10. /. 168. and w1 = 5. /. 168. in
+  Alcotest.(check (float 1e-12)) "nominal mass" (1. -. w0 -. w1) s1.(0).FM.prob;
+  (* each window removes exactly its own edges *)
+  Array.iter
+    (fun (s : FM.scenario) ->
+      if Array.length s.FM.failed_units > 0 then begin
+        let dead =
+          Array.to_list
+            (Array.of_seq
+               (Seq.filter
+                  (fun e -> not s.FM.edge_alive.(e))
+                  (Seq.init 4 Fun.id)))
+        in
+        let expected =
+          if Fc.eq ~eps:1e-12 s.FM.prob w0 then [ 0 ] else [ 1; 2 ]
+        in
+        Alcotest.(check (list int)) "window edge set" expected dead
+      end)
+    s1;
+  (* overlapping windows are rejected *)
+  (try
+     ignore
+       (SG.maintenance ~nedges:4 ~horizon:168.
+          [
+            { SG.wname = "a"; wedges = [| 0 |]; wstart = 0.; wduration = 10. };
+            { SG.wname = "b"; wedges = [| 1 |]; wstart = 5.; wduration = 10. };
+          ]);
+     Alcotest.fail "overlap not rejected"
+   with Invalid_argument _ -> ());
+  (* windows outside the horizon are rejected *)
+  try
+    ignore
+      (SG.maintenance ~nedges:4 ~horizon:24.
+         [ { SG.wname = "a"; wedges = [| 0 |]; wstart = 20.; wduration = 10. } ]);
+    Alcotest.fail "out-of-horizon window not rejected"
+  with Invalid_argument _ -> ()
+
+(* Same seed -> identical generator output; different seed -> the
+   Weibull draws differ. *)
+let test_seed_determinism () =
+  let graph = ibm () in
+  let build s = SG.partial ~graph ~seed:(Prng.of_string s) () in
+  let a = (SG.enumerate ~max_scenarios:80 (build "seed-A")).SG.scenarios in
+  let b = (SG.enumerate ~max_scenarios:80 (build "seed-A")).SG.scenarios in
+  let c = (SG.enumerate ~max_scenarios:80 (build "seed-B")).SG.scenarios in
+  Array.iteri
+    (fun i (s : FM.scenario) ->
+      if not (Fc.exactly_equal s.FM.prob b.(i).FM.prob) then
+        Alcotest.fail "same seed produced different scenario probabilities")
+    a;
+  let differs = ref (Array.length a <> Array.length c) in
+  if not !differs then
+    Array.iteri
+      (fun i (x : FM.scenario) ->
+        if not (Fc.exactly_equal x.FM.prob c.(i).FM.prob) then differs := true)
+      a;
+  if not !differs then Alcotest.fail "different seeds produced identical sets"
+
+(* Demand effects: per-scenario pair factors fold multiplicatively
+   over the failed units' states. *)
+let test_demand_factors () =
+  let drift =
+    SG.demand_states ~nedges:2 ~name:"drift"
+      [| (0.1, SG.Per_pair [| 2.; 0.5 |]) |]
+  in
+  let diurnal = SG.diurnal ~nedges:2 ~levels:[| (1.5, 0.2) |] () in
+  let set = exhaustive (SG.compose [ drift; diurnal ]) in
+  (match set.SG.pair_factors with
+  | None -> Alcotest.fail "expected pair factors"
+  | Some pf ->
+      Alcotest.(check int) "4 scenarios" 4 (Array.length pf);
+      Array.iteri
+        (fun sid (s : FM.scenario) ->
+          let expected = Array.make 2 1. in
+          Array.iter
+            (fun u ->
+              if u = 0 then begin
+                expected.(0) <- expected.(0) *. 2.;
+                expected.(1) <- expected.(1) *. 0.5
+              end
+              else begin
+                expected.(0) <- expected.(0) *. 1.5;
+                expected.(1) <- expected.(1) *. 1.5
+              end)
+            s.FM.failed_units;
+          Array.iteri
+            (fun p f ->
+              if not (Fc.eq ~eps:1e-12 f expected.(p)) then
+                Alcotest.failf "scenario %d pair %d factor %f /= %f" sid p f
+                  expected.(p))
+            pf.(sid))
+        set.SG.scenarios);
+  (* a capacity-only generator attaches no factors *)
+  let cap_only =
+    exhaustive (SG.srlg ~nedges:2 ~groups:[| [| 0 |] |] ~seed:(Prng.of_string "x") ())
+  in
+  if cap_only.SG.pair_factors <> None then
+    Alcotest.fail "capacity-only generator produced demand factors"
+
+(* ---------- statistical tests ---------- *)
+
+(* Empirical state frequencies over a large seeded sample match the
+   analytic probabilities within a 3-sigma binomial bound.  The seed
+   is fixed: this either always passes or always fails. *)
+let test_sampling_statistics () =
+  let n = 20000 in
+  let graph = ibm () in
+  let groups = Flexile_net.Catalog.srlgs graph in
+  let gen =
+    SG.compose
+      [
+        SG.srlg
+          ~nedges:(Flexile_net.Graph.nedges graph)
+          ~groups ~seed:(Prng.of_string "sg-stat-groups") ();
+      ]
+  in
+  let nunits = SG.nunits gen in
+  let hits = Array.make nunits 0 in
+  let rng = Prng.of_string "sg-stat-draws" in
+  for _ = 1 to n do
+    let states = SG.sample gen rng in
+    Array.iteri (fun u s -> if s >= 0 then hits.(u) <- hits.(u) + 1) states
+  done;
+  Array.iteri
+    (fun u hit ->
+      let p = gen.SG.units.(u).SG.states.(0).SG.prob in
+      let freq = float_of_int hit /. float_of_int n in
+      let sigma = sqrt (p *. (1. -. p) /. float_of_int n) in
+      (* 3 sigma, plus a tiny absolute floor for very small p where
+         the normal approximation is loose at this sample size *)
+      let bound = (3. *. sigma) +. (1.5 /. float_of_int n) in
+      if Float.abs (freq -. p) > bound then
+        Alcotest.failf "unit %d (%s): freq %.5f vs p %.5f (bound %.5f)" u
+          gen.SG.units.(u).SG.uname freq p bound)
+    hits
+
+(* Per-edge hard-down frequency matches the analytic edge_down_prob
+   for a mixed generator (srlg + partial share edges). *)
+let test_edge_down_statistics () =
+  let n = 20000 in
+  let graph = Flexile_net.Catalog.triangle () in
+  let gen =
+    SG.compose
+      [
+        SG.srlg ~nedges:3
+          ~groups:[| [| 0; 1 |] |]
+          ~seed:(Prng.of_string "sg-stat2-srlg") ();
+        SG.partial ~graph ~seed:(Prng.of_string "sg-stat2-partial") ();
+      ]
+  in
+  let down = Array.make 3 0 in
+  let rng = Prng.of_string "sg-stat2-draws" in
+  for _ = 1 to n do
+    let states = SG.sample gen rng in
+    let frac = Array.make 3 1. in
+    Array.iteri
+      (fun u s ->
+        if s >= 0 then begin
+          let unit = gen.SG.units.(u) in
+          let st = unit.SG.states.(s) in
+          let edges =
+            match st.SG.sedges with Some e -> e | None -> unit.SG.edges
+          in
+          Array.iter (fun e -> frac.(e) <- frac.(e) *. st.SG.frac) edges
+        end)
+      states;
+    for e = 0 to 2 do
+      if not (frac.(e) > 0.) then down.(e) <- down.(e) + 1
+    done
+  done;
+  for e = 0 to 2 do
+    let p = SG.edge_down_prob gen e in
+    let freq = float_of_int down.(e) /. float_of_int n in
+    let sigma = sqrt (p *. (1. -. p) /. float_of_int n) in
+    let bound = (3. *. sigma) +. (1.5 /. float_of_int n) in
+    if Float.abs (freq -. p) > bound then
+      Alcotest.failf "edge %d: down freq %.5f vs analytic %.5f (bound %.5f)" e
+        freq p bound
+  done
+
+(* ---------- differential tests ---------- *)
+
+let check_scenarios_bit_identical name (a : FM.scenario array)
+    (b : FM.scenario array) =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: %d vs %d scenarios" name (Array.length a)
+      (Array.length b);
+  Array.iteri
+    (fun i (x : FM.scenario) ->
+      let y = b.(i) in
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float x.FM.prob)
+             (Int64.bits_of_float y.FM.prob))
+      then
+        Alcotest.failf "%s: scenario %d prob bits differ (%.17g vs %.17g)" name
+          i x.FM.prob y.FM.prob;
+      if x.FM.failed_units <> y.FM.failed_units then
+        Alcotest.failf "%s: scenario %d failed sets differ" name i;
+      if x.FM.edge_alive <> y.FM.edge_alive then
+        Alcotest.failf "%s: scenario %d alive masks differ" name i;
+      Array.iteri
+        (fun e f ->
+          if
+            not
+              (Int64.equal (Int64.bits_of_float f)
+                 (Int64.bits_of_float y.FM.cap_frac.(e)))
+          then Alcotest.failf "%s: scenario %d cap_frac bits differ" name i)
+        x.FM.cap_frac)
+    a
+
+(* The singleton-group binary SRLG generator reproduces the legacy
+   independent model bit-identically: same Weibull draws, same
+   enumeration, same floats. *)
+let test_differential_singleton_srlg () =
+  let graph = ibm () in
+  let ne = Flexile_net.Graph.nedges graph in
+  let legacy =
+    FM.enumerate ~max_scenarios:150
+      (FM.independent_links ~graph ~seed:(Prng.of_string "sg-diff") ())
+  in
+  let singles = Array.init ne (fun e -> [| e |]) in
+  let via_srlg =
+    (SG.enumerate ~max_scenarios:150
+       (SG.srlg ~nedges:ne ~groups:singles ~seed:(Prng.of_string "sg-diff") ()))
+      .SG.scenarios
+  in
+  check_scenarios_bit_identical "srlg-singleton" legacy via_srlg;
+  (* and the wrapper delegation path *)
+  let via_wrapper =
+    (SG.enumerate ~max_scenarios:150
+       (SG.independent_links ~graph ~seed:(Prng.of_string "sg-diff") ()))
+      .SG.scenarios
+  in
+  check_scenarios_bit_identical "wrapper" legacy via_wrapper
+
+(* The Builder's default mix is the legacy path: byte-identical
+   scenario sets and no demand factors. *)
+let test_differential_builder_default () =
+  let inst =
+    Flexile_core.Builder.of_name
+      ~options:
+        {
+          Flexile_core.Builder.default_options with
+          Flexile_core.Builder.max_pairs = 30;
+        }
+      "Sprint"
+  in
+  let inst2 =
+    Flexile_core.Builder.of_name
+      ~options:
+        {
+          Flexile_core.Builder.default_options with
+          Flexile_core.Builder.max_pairs = 30;
+          scenario_mix = "independent";
+        }
+      "Sprint"
+  in
+  if inst.Instance.demand_factors <> None then
+    Alcotest.fail "default mix attached demand factors";
+  check_scenarios_bit_identical "builder-default" inst.Instance.scenarios
+    inst2.Instance.scenarios
+
+(* A mixed-regime sweep is identical at --jobs 1 and --jobs 4. *)
+let test_differential_jobs () =
+  let options =
+    {
+      Flexile_core.Builder.default_options with
+      Flexile_core.Builder.scenario_mix = "srlg,partial,drift";
+      max_scenarios = 24;
+      max_pairs = 24;
+    }
+  in
+  let inst = Flexile_core.Builder.of_name ~options "Sprint" in
+  if inst.Instance.demand_factors = None then
+    Alcotest.fail "drift mix should attach demand factors";
+  let l1 = Flexile_core.Schemes.run ~jobs:1 Flexile_core.Schemes.Swan_maxmin inst in
+  let l4 = Flexile_core.Schemes.run ~jobs:4 Flexile_core.Schemes.Swan_maxmin inst in
+  Array.iteri
+    (fun fid row ->
+      Array.iteri
+        (fun sid v ->
+          if not (Fc.exactly_equal v l4.(fid).(sid)) then
+            Alcotest.failf "loss (%d,%d) differs between jobs 1 and 4" fid sid)
+        row)
+    l1
+
+(* ---------- regression: multi-state mass accounting ---------- *)
+
+(* Binary models keep the historical accounting: nominal probability
+   is the product of per-unit complements.  Pinned so the corrected
+   multi-state accounting cannot drift the binary path. *)
+let test_regression_binary_accounting () =
+  let m = FM.of_probs ~nedges:3 [| 0.1; 0.2; 0.3 |] in
+  let s = FM.no_failure m in
+  Alcotest.(check (float 0.)) "binary nominal = product of complements"
+    (0.9 *. 0.8 *. 0.7) s.FM.prob;
+  let all = FM.enumerate ~cutoff:0. ~max_scenarios:100 m in
+  Alcotest.(check int) "8 binary subsets" 8 (Array.length all);
+  Alcotest.(check (float 1e-12)) "binary mass" 1.0 (FM.coverage all)
+
+(* The fix itself: states of one unit are disjoint events, so the
+   nominal mass is 1 - sum(states) — NOT the product of complements
+   the old binary up/down assumption would give.  With a hard-down
+   state (p=0.1) and a partial state (p=0.2, 30% capacity) on one
+   link: correct nominal 0.7; the naive accounting would say
+   0.9 * 0.8 = 0.72 and the enumeration would overcount to 1.02. *)
+let test_regression_multistate_accounting () =
+  let m =
+    FM.multi_state ~nedges:1 [| ([| 0 |], [| (0.1, 0.); (0.2, 0.3) |]) |]
+  in
+  let all = FM.enumerate ~cutoff:0. ~max_scenarios:100 m in
+  Alcotest.(check int) "nominal + 2 states" 3 (Array.length all);
+  Alcotest.(check (float 1e-12)) "nominal is 1 - sum, not product" 0.7
+    all.(0).FM.prob;
+  (* best-first order: the likelier partial state enumerates before
+     the hard cut *)
+  Alcotest.(check (float 1e-12)) "partial mass" 0.2 all.(1).FM.prob;
+  Alcotest.(check (float 1e-12)) "hard-down mass" 0.1 all.(2).FM.prob;
+  Alcotest.(check (float 1e-12)) "total mass exactly 1" 1.0 (FM.coverage all);
+  (* the partial state carries its fraction into the scenario *)
+  let partial =
+    Array.to_list all
+    |> List.find (fun (s : FM.scenario) ->
+           Array.length s.FM.failed_units > 0 && s.FM.edge_alive.(0))
+  in
+  Alcotest.(check (float 0.)) "partial cap_frac" 0.3 partial.FM.cap_frac.(0);
+  (* unit mass >= 1 is rejected *)
+  try
+    ignore (FM.multi_state ~nedges:1 [| ([| 0 |], [| (0.6, 0.); (0.5, 0.5) |]) |]);
+    Alcotest.fail "unit mass >= 1 not rejected"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "flexile_scenario_gen"
+    [
+      ( "properties",
+        [
+          quick "mass sums to 1" test_mass_sums_to_one;
+          quick "truncated coverage" test_truncated_coverage;
+          quick "partial fraction bounds" test_partial_fraction_bounds;
+          quick "effective capacity bounds" test_effective_capacity_bounds;
+          quick "srlg atomicity" test_srlg_atomicity;
+          quick "maintenance schedule" test_maintenance;
+          quick "seed determinism" test_seed_determinism;
+          quick "demand factors" test_demand_factors;
+        ] );
+      ( "statistics",
+        [
+          quick "state frequencies (3 sigma)" test_sampling_statistics;
+          quick "edge-down frequencies (3 sigma)" test_edge_down_statistics;
+        ] );
+      ( "differential",
+        [
+          quick "singleton srlg vs legacy" test_differential_singleton_srlg;
+          quick "builder default is legacy" test_differential_builder_default;
+          quick "mixed sweep jobs 1 vs 4" test_differential_jobs;
+        ] );
+      ( "regression",
+        [
+          quick "binary accounting pinned" test_regression_binary_accounting;
+          quick "multi-state accounting fix" test_regression_multistate_accounting;
+        ] );
+    ]
