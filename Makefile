@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint monitor-smoke verify baseline clean
+.PHONY: all build test bench lint monitor-smoke explain-smoke verify baseline clean
 
 all: build
 
@@ -35,28 +35,51 @@ monitor-smoke:
 	cmp monitor-a.prom monitor-b.prom
 	cmp monitor-a.jsonl monitor-b.jsonl
 
+# Miss-attribution smoke (DESIGN.md section 13): the explain report and
+# the regime-conditioned attainment table must be byte-identical across
+# job counts (cold per-scenario solves); the Prometheus page must be
+# byte-identical across repeated runs at a fixed job count (trace
+# counters such as warm-start iteration totals legitimately differ
+# across job counts, so the page is only repeat-stable).
+explain-smoke:
+	dune build bin/flexile_cli.exe
+	dune exec --no-build bin/flexile_cli.exe -- explain IBM --two-class \
+	  --scenarios srlg,partial,drift --max-pairs 60 --iterations 1 --jobs 1 \
+	  --out explain-a.json --regimes explain-a-regimes.json
+	dune exec --no-build bin/flexile_cli.exe -- explain IBM --two-class \
+	  --scenarios srlg,partial,drift --max-pairs 60 --iterations 1 --jobs 4 \
+	  --out explain-b.json --regimes explain-b-regimes.json \
+	  --prom explain-b.prom
+	dune exec --no-build bin/flexile_cli.exe -- explain IBM --two-class \
+	  --scenarios srlg,partial,drift --max-pairs 60 --iterations 1 --jobs 4 \
+	  --prom explain-c.prom
+	cmp explain-a.json explain-b.json
+	cmp explain-a-regimes.json explain-b-regimes.json
+	cmp explain-b.prom explain-c.prom
+
 # Relative headroom for the benchmark regression gate.  50% absorbs
 # ordinary same-machine jitter; CI overrides this upward because the
 # committed baseline was recorded on a different machine.
 BENCH_TOLERANCE ?= 50
 
 # Tier-1 verification: full build, the linter, the test suite, the
-# monitor determinism smoke, a smoke run of the micro-benchmarks
-# (exercises the parallel sweep at jobs 1 and 4), and the regression
-# gate against the committed baseline.
+# monitor and explain determinism smokes, a smoke run of the
+# micro-benchmarks (exercises the parallel sweep at jobs 1 and 4), and
+# the regression gate against the committed baseline.
 verify:
 	dune build
 	$(MAKE) lint
 	dune runtest
 	$(MAKE) monitor-smoke
+	$(MAKE) explain-smoke
 	dune exec bench/main.exe -- --micro
 	dune exec bench/main.exe -- --gate --repeat 3 --jobs 2 \
-	  --check BENCH_PR7.json --tolerance $(BENCH_TOLERANCE)
+	  --check BENCH_PR8.json --tolerance $(BENCH_TOLERANCE)
 
 # Re-record the committed gate baseline (run on an idle machine).
 baseline:
 	dune exec bench/main.exe -- --gate --repeat 5 --jobs 2 \
-	  --baseline BENCH_PR7.json
+	  --baseline BENCH_PR8.json
 
 clean:
 	dune clean

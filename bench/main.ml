@@ -115,7 +115,7 @@ let micro_benchmarks ~jobs () =
 let gate_phase_order =
   [
     "instance-build"; "offline-solve"; "offline-sweep"; "offline-master";
-    "online-alloc"; "scenbest-sweep"; "swan-maxmin"; "scenario-mix";
+    "online-alloc"; "explain"; "scenbest-sweep"; "swan-maxmin"; "scenario-mix";
     "simplex-60x40"; "continental-mlu"; "continental-factor";
   ]
 
@@ -259,6 +259,27 @@ let run_gate ~jobs ~repeat =
     ignore
       (timed "online-alloc" (fun () ->
            Flexile_te.Flexile_online.run ~jobs inst ~offline));
+    (* miss attribution end-to-end: online re-run with dual capture,
+       one clairvoyant LP per (class, scenario) for the regret
+       baseline, then the per-class decomposition + report rendering *)
+    ignore
+      (timed "explain" (fun () ->
+           let promised =
+             Array.init
+               (Array.length inst.Flexile_te.Instance.classes)
+               (fun k ->
+                 Flexile_te.Metrics.perc_loss inst
+                   offline.Flexile_te.Flexile_offline.best
+                     .Flexile_te.Flexile_offline.losses ~cls:k ())
+           in
+           let inp =
+             Flexile_obs.Attribution.prepare ~jobs inst ~offline ~promised ()
+           in
+           let rep =
+             Flexile_obs.Attribution.analyze ~top:5 inp
+               ~losses:(Flexile_obs.Attribution.online_losses inp)
+           in
+           ignore (Flexile_obs.Attribution.report_json rep)));
     ignore (timed "scenbest-sweep" (fun () -> Flexile_te.Scenbest.run ~jobs inst));
     ignore (timed "swan-maxmin" (fun () -> Flexile_te.Swan.run_maxmin ~jobs inst));
     (* mixed-regime end-to-end: SRLG + partial degradation + demand

@@ -356,8 +356,19 @@ let monitor_cmd =
                    packet-level discretization emulator and observe the \
                    emulated losses instead of the fluid ones.")
   in
+  let explain_arg =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"FILE"
+             ~doc:"Attribute each class's SLO state (miss mass, regimes, \
+                   bottlenecks, regret) against the observed losses: every \
+                   JSONL snapshot gains an $(b,attribution) field and the \
+                   final full report is written to $(docv).  Adds one \
+                   clairvoyant LP per (class, scenario) up front, so the \
+                   deterministic metric exports differ from a run without \
+                   this flag.")
+  in
   let run () name two scenarios mix max_pairs iterations jobs seed draws
-      snapshot_every window prom jsonl emulate =
+      snapshot_every window prom jsonl emulate explain =
     (* histograms and counters drive the report; enable unconditionally *)
     Trace.set_enabled true;
     let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
@@ -382,6 +393,13 @@ let monitor_cmd =
           inst.Instance.classes.(k).Instance.cname (100. *. p))
       promised;
     let slo = Flexile_obs.Slo.create ~window ~promised inst in
+    (* gather the attribution inputs once, before the draw loop: the
+       online duals and regret baseline depend only on the instance *)
+    let attribution =
+      Option.map
+        (fun _ -> Flexile_obs.Attribution.prepare ~jobs inst ~offline:off ~promised ())
+        explain
+    in
     let nscen = Instance.nscenarios inst in
     let cum = Array.make nscen 0. in
     let acc = ref 0. in
@@ -437,11 +455,38 @@ let monitor_cmd =
         while cum.(!sid) <= u do incr sid done;
         Flexile_obs.Slo.observe slo ~sid:!sid ~losses:(losses_for !sid)
       end;
-      if i mod snapshot_every = 0 || i = draws then
-        Printf.bprintf jsonl_buf "{\"draw\":%d,\"slo\":%s,\"metrics\":%s}\n" i
-          (Flexile_obs.Slo.report_json slo)
+      if i mod snapshot_every = 0 || i = draws then begin
+        let attr_field =
+          match attribution with
+          | None -> ""
+          | Some inp ->
+              let rep =
+                Flexile_obs.Attribution.analyze inp
+                  ~losses:(Flexile_obs.Slo.observed_losses slo)
+              in
+              Printf.sprintf "\"attribution\":%s,"
+                (Flexile_obs.Attribution.snapshot_json rep)
+        in
+        Printf.bprintf jsonl_buf "{\"draw\":%d,\"slo\":%s,%s\"metrics\":%s}\n" i
+          (Flexile_obs.Slo.report_json slo) attr_field
           (Flexile_obs.Metrics_export.snapshot_json ~deterministic:true ())
+      end
     done;
+    Option.iter
+      (fun path ->
+        match attribution with
+        | None -> ()
+        | Some inp ->
+            let rep =
+              Flexile_obs.Attribution.analyze inp
+                ~losses:(Flexile_obs.Slo.observed_losses slo)
+            in
+            let oc = open_out path in
+            output_string oc (Flexile_obs.Attribution.report_json rep);
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "wrote attribution report to %s\n" path)
+      explain;
     Option.iter
       (fun path ->
         let oc = open_out path in
@@ -481,11 +526,168 @@ let monitor_cmd =
     Term.(const run $ verbose_term $ topology_arg $ two_class_arg
           $ scenarios_arg $ mix_arg $ pairs_arg $ iterations $ jobs_arg
           $ seed_arg $ draws_arg $ snapshot_arg $ window_arg $ prom_arg
-          $ jsonl_arg $ emulate_arg)
+          $ jsonl_arg $ emulate_arg $ explain_arg)
   in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Replay a seeded failure stream and report SLO attainment.")
+    term
+
+(* ---- explain ---- *)
+
+(* Solve the instance, then attribute every class's percentile
+   objective: which scenarios carry the tail mass beyond beta (tagged
+   with their failure regime), which capacity edges bind in them (LP
+   duals the online allocation already computed), and how much the
+   online allocator regrets versus a clairvoyant per-class optimum.
+   All artifacts are byte-identical for a fixed instance across runs
+   and across --jobs values. *)
+let explain_cmd =
+  let iterations =
+    Arg.(value & opt int 5
+         & info [ "iterations" ] ~doc:"Offline decomposition iterations.")
+  in
+  let tol_arg =
+    Arg.(value & opt float 1e-6
+         & info [ "tol" ] ~docv:"EPS"
+             ~doc:"Slack added to every promise comparison.")
+  in
+  let top_arg =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Attributed scenarios listed per class; the rest folds \
+                   into the report's other_mass (the reconciliation still \
+                   covers it).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the full attribution report as one-line JSON to \
+                   $(docv).")
+  in
+  let prom_arg =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+             ~doc:"Write the deterministic metric registry plus the labeled \
+                   attribution families (flexile_slo_miss_mass, \
+                   flexile_slo_budget_burn, flexile_slo_attainment, \
+                   flexile_regret) to $(docv).")
+  in
+  let regimes_arg =
+    Arg.(value & opt (some string) None
+         & info [ "regimes" ] ~docv:"FILE"
+             ~doc:"Write the regime-conditioned attainment table (per class, \
+                   per failure regime) as JSON to $(docv).")
+  in
+  let run () name two scenarios mix max_pairs iterations jobs tol top out
+      prom regimes =
+    (* the regret histogram and attribution families need the registry on *)
+    Trace.set_enabled true;
+    let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
+    print_instance inst;
+    let config =
+      {
+        Flexile_te.Flexile_offline.default_config with
+        Flexile_te.Flexile_offline.max_iterations = iterations;
+        jobs;
+      }
+    in
+    let off = Flexile_te.Flexile_offline.solve ~config inst in
+    let best = off.Flexile_te.Flexile_offline.best in
+    let promised =
+      Array.init (Array.length inst.Instance.classes) (fun k ->
+          Metrics.perc_loss inst best.Flexile_te.Flexile_offline.losses ~cls:k
+            ())
+    in
+    let inp =
+      Flexile_obs.Attribution.prepare ~jobs ~tol inst ~offline:off ~promised ()
+    in
+    let rep =
+      Flexile_obs.Attribution.analyze ~top inp
+        ~losses:(Flexile_obs.Attribution.online_losses inp)
+    in
+    let open Flexile_obs.Attribution in
+    let edge_name bn = Printf.sprintf "%d (%d-%d)" bn.bedge bn.bu bn.bv in
+    List.iter
+      (fun a ->
+        Printf.printf
+          "class %d (%s): %s  promised %.4f%% observed %.4f%% gap %.4f%%\n"
+          a.acls a.aname
+          (if a.aattained then "ATTAINED" else "MISSED")
+          (100. *. a.apromised) (100. *. a.aobserved)
+          (100. *. a.apromise_gap);
+        Printf.printf
+          "  miss mass %.6f = attributed %.6f + beyond-top %.6f + \
+           unenumerated %.6f  (budget burn %.3f)\n"
+          a.amiss_mass
+          (attributed_total a -. a.aother_mass -. a.aunenumerated)
+          a.aother_mass a.aunenumerated a.aburn;
+        List.iteri
+          (fun i s ->
+            Printf.printf
+              "  #%d scenario %d [%s] p=%.6f loss=%.2f%% attributed=%.6f \
+               regret=%.2f%%\n"
+              (i + 1) s.ssid s.sregime s.sprob (100. *. s.sloss) s.sattr
+              (100. *. s.sregret);
+            if s.sbottlenecks <> [] then
+              Printf.printf "      binding edges: %s\n"
+                (String.concat ", "
+                   (List.map
+                      (fun bn ->
+                        Printf.sprintf "%s dual %.3f" (edge_name bn) bn.bdual)
+                      s.sbottlenecks)))
+          a.ascenarios;
+        List.iter
+          (fun g ->
+            Printf.printf
+              "  regime %-12s mass %.6f attributed %.6f attainment %.4f%% %s \
+               regret %.4f%%\n"
+              g.gregime g.gmass g.gattr
+              (100. *. g.gattainment)
+              (if g.gattained then "ATTAINED" else "MISSED")
+              (100. *. g.gregret))
+          a.aregimes;
+        if a.ablame <> [] then
+          Printf.printf "  blame: %s\n"
+            (String.concat "; "
+               (List.map
+                  (fun bn ->
+                    Printf.sprintf "edge %s %.6f" (edge_name bn) bn.bdual)
+                  a.ablame));
+        Printf.printf "  regret: expected %.4f%% max %.4f%%\n"
+          (100. *. a.aregret_expected)
+          (100. *. a.aregret_max))
+      rep.classes;
+    let write path contents what =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s to %s\n" what path
+    in
+    Option.iter
+      (fun path -> write path (report_json rep ^ "\n") "attribution report")
+      out;
+    Option.iter
+      (fun path ->
+        write path
+          (Flexile_obs.Metrics_export.prometheus ~deterministic:true ()
+          ^ prometheus_families rep)
+          "Prometheus metrics")
+      prom;
+    Option.iter
+      (fun path ->
+        write path (regimes_json rep ^ "\n") "regime-conditioned attainment")
+      regimes
+  in
+  let term =
+    Term.(const run $ verbose_term $ topology_arg $ two_class_arg
+          $ scenarios_arg $ mix_arg $ pairs_arg $ iterations $ jobs_arg
+          $ tol_arg $ top_arg $ out_arg $ prom_arg $ regimes_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Attribute SLO misses: scenarios, regimes, bottleneck edges and \
+             regret per class.")
     term
 
 (* ---- augment ---- *)
@@ -541,5 +743,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; compare_cmd; topo_cmd; scale_cmd; emulate_cmd;
-            monitor_cmd; augment_cmd;
+            monitor_cmd; explain_cmd; augment_cmd;
           ]))

@@ -116,7 +116,10 @@ let default_maintenance graph =
    name-split seed. *)
 let scenario_set ~options ~seed ~graph ~npairs =
   if String.equal options.scenario_mix "independent" then
-    (scenarios_for ~options ~seed graph, None)
+    (* legacy tags are derived by Instance.regime; returning None here
+       keeps the instance record — and everything downstream —
+       byte-identical to the pre-mix builds *)
+    (scenarios_for ~options ~seed graph, None, None)
   else begin
     let tokens = parse_mix options.scenario_mix in
     let ne = Graph.nedges graph in
@@ -156,7 +159,9 @@ let scenario_set ~options ~seed ~graph ~npairs =
       Scenario_gen.enumerate ~cutoff:options.scenario_cutoff
         ~max_scenarios:options.max_scenarios ~npairs gen
     in
-    (set.Scenario_gen.scenarios, set.Scenario_gen.pair_factors)
+    ( set.Scenario_gen.scenarios,
+      set.Scenario_gen.pair_factors,
+      Some set.Scenario_gen.regimes )
   end
 
 (* Instance.make wants demand factors per (sid, fid) with
@@ -220,7 +225,7 @@ let single_class ?(options = default_options) ~graph () =
     scaled_gravity ~options ~seed:(Prng.split seed "traffic") graph pairs
       tunnels_single
   in
-  let scenarios, pair_factors =
+  let scenarios, pair_factors, regimes =
     scenario_set ~options
       ~seed:(Prng.split seed "failures")
       ~graph ~npairs:(Array.length pairs)
@@ -232,7 +237,7 @@ let single_class ?(options = default_options) ~graph () =
     Instance.make ~graph
       ~classes:[| { Instance.cname = "all"; beta = Float.nan; weight = 1. } |]
       ~pairs ~tunnels:[| tunnels_single |] ~demands:[| demands |]
-      ?demand_factors ~scenarios ()
+      ?demand_factors ?regimes ~scenarios ()
   in
   finalize_betas inst
 
@@ -264,7 +269,7 @@ let two_class ?(options = default_options) ~graph () =
     Gravity.split_two_class ~seed:(Prng.split seed "split")
       ~low_scale:options.low_scale base
   in
-  let scenarios, pair_factors =
+  let scenarios, pair_factors, regimes =
     scenario_set ~options
       ~seed:(Prng.split seed "failures")
       ~graph ~npairs:(Array.length pairs)
@@ -281,7 +286,7 @@ let two_class ?(options = default_options) ~graph () =
         |]
       ~pairs
       ~tunnels:[| tunnels_high; tunnels_low |]
-      ~demands:[| high; low |] ?demand_factors ~scenarios ()
+      ~demands:[| high; low |] ?demand_factors ?regimes ~scenarios ()
   in
   finalize_betas inst
 

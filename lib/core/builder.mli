@@ -51,12 +51,16 @@ val scenario_set :
   seed:Flexile_util.Prng.t ->
   graph:Flexile_net.Graph.t ->
   npairs:int ->
-  Flexile_failure.Failure_model.scenario array * float array array option
+  Flexile_failure.Failure_model.scenario array
+  * float array array option
+  * string array option
 (** Enumerated scenario set for the configured mix, plus optional
     per-(scenario, pair) demand factors (present only when the mix
-    includes a demand regime).  With [scenario_mix = "independent"]
-    this is exactly the legacy enumeration — same PRNG draws, same
-    scenarios, no factors. *)
+    includes a demand regime) and optional per-scenario regime tags.
+    With [scenario_mix = "independent"] this is exactly the legacy
+    enumeration — same PRNG draws, same scenarios, no factors, no tags
+    (consumers read tags through {!Flexile_te.Instance.regime}, which
+    derives the legacy defaults). *)
 
 val single_class :
   ?options:options -> graph:Flexile_net.Graph.t -> unit -> Flexile_te.Instance.t

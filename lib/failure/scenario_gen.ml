@@ -13,7 +13,12 @@ type state = {
   sedges : int array option;
 }
 
-type unit_gen = { uname : string; edges : int array; states : state array }
+type unit_gen = {
+  uname : string;
+  regime : string;
+  edges : int array;
+  states : state array;
+}
 type t = { nedges : int; units : unit_gen array }
 
 let mk_state ?(demand = No_change) ?sedges ~prob ~frac () =
@@ -109,13 +114,14 @@ let weibull_prob ?(median = 0.001) ?(shape = 0.8) seed =
   let scale = median /. Float.pow (Float.log 2.) (1. /. shape) in
   Float.max 1e-5 (Float.min 0.3 (Prng.weibull seed ~shape ~scale))
 
-let of_failure_model ?(prefix = "unit") (fm : FM.t) =
+let of_failure_model ?(prefix = "unit") ?(regime = "independent") (fm : FM.t) =
   let units =
     Array.to_list
       (Array.mapi
          (fun u edges ->
            {
              uname = Printf.sprintf "%s-%d" prefix u;
+             regime;
              edges = Array.copy edges;
              states =
                Array.map
@@ -144,6 +150,7 @@ let srlg ?median ?shape ~nedges ~groups ~seed () =
            let p = weibull_prob ?median ?shape seed in
            {
              uname = Printf.sprintf "srlg-%d" gi;
+             regime = "srlg";
              edges = Array.copy group;
              states = [| mk_state ~prob:p ~frac:0. () |];
            })
@@ -170,6 +177,7 @@ let partial ?median ?shape ?(levels = default_levels) ~graph ~seed () =
         let p = weibull_prob ?median ?shape seed in
         {
           uname = Printf.sprintf "partial-%d" e;
+          regime = "partial";
           edges = [| e |];
           states =
             Array.map
@@ -227,6 +235,7 @@ let maintenance ~nedges ~horizon windows =
     [
       {
         uname = "maintenance";
+        regime = "maintenance";
         edges = union;
         states =
           Array.of_list
@@ -241,13 +250,14 @@ let maintenance ~nedges ~horizon windows =
       };
     ]
 
-let demand_states ~nedges ~name states =
+let demand_states ?regime ~nedges ~name states =
   if Array.length states = 0 then
     invalid_arg "Scenario_gen.demand_states: no states";
   create ~nedges
     [
       {
         uname = name;
+        regime = (match regime with Some r -> r | None -> name);
         edges = [||];
         states =
           Array.map (fun (p, d) -> mk_state ~prob:p ~frac:0. ~demand:d ())
@@ -266,6 +276,7 @@ let diurnal ~nedges ?(levels = [| (1.25, 0.2); (0.75, 0.2) |]) () =
 type set = {
   scenarios : FM.scenario array;
   pair_factors : float array array option;
+  regimes : string array;
 }
 
 let to_failure_model t =
@@ -325,6 +336,20 @@ let pair_factors_of_scenario t ~npairs (s : FM.scenario) =
     s.FM.failed_units;
   factors
 
+(* A scenario is tagged with the regime of the units it degrades:
+   "nominal" for the all-up scenario, the common regime when every
+   failed unit agrees, "mixed" when regimes co-occur.  The tag is what
+   lets attainment be reported conditioned on failure regime. *)
+let regime_of_scenario t (s : FM.scenario) =
+  if Array.length s.FM.failed_units = 0 then "nominal"
+  else begin
+    let r0 = t.units.(s.FM.failed_units.(0)).regime in
+    if Array.for_all (fun u -> String.equal t.units.(u).regime r0)
+         s.FM.failed_units
+    then r0
+    else "mixed"
+  end
+
 let enumerate ?cutoff ?max_scenarios ?npairs t =
   let scenarios = FM.enumerate ?cutoff ?max_scenarios (to_failure_model t) in
   let pair_factors =
@@ -345,7 +370,7 @@ let enumerate ?cutoff ?max_scenarios ?npairs t =
       Some (Array.map (pair_factors_of_scenario t ~npairs) scenarios)
     end
   in
-  { scenarios; pair_factors }
+  { scenarios; pair_factors; regimes = Array.map (regime_of_scenario t) scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Monte-Carlo draws (statistical tests, monitors)                     *)

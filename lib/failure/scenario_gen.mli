@@ -43,6 +43,11 @@ type state = {
 
 type unit_gen = {
   uname : string;  (** unique within a generator; survives composition *)
+  regime : string;
+      (** failure-regime tag carried into enumerated scenarios
+          ("independent", "srlg", "partial", "drift", "diurnal",
+          "maintenance", ...); lets attainment be reported conditioned
+          on regime *)
   edges : int array;
   states : state array;
 }
@@ -64,9 +69,10 @@ val nunits : t -> int
 
 (** {1 Generator families} *)
 
-val of_failure_model : ?prefix:string -> Failure_model.t -> t
+val of_failure_model : ?prefix:string -> ?regime:string -> Failure_model.t -> t
 (** Wrap an existing failure model as a generator (unit names
-    [prefix-i], default prefix ["unit"]). *)
+    [prefix-i], default prefix ["unit"], default regime
+    ["independent"]). *)
 
 val independent_links :
   ?median:float ->
@@ -133,11 +139,11 @@ val maintenance : nedges:int -> horizon:float -> window list -> t
     >= 0.5. *)
 
 val demand_states :
-  nedges:int -> name:string -> (float * demand_effect) array -> t
+  ?regime:string -> nedges:int -> name:string -> (float * demand_effect) array -> t
 (** An edge-free unit whose states perturb the traffic matrix:
     [(probability, effect)] per state.  The builder layer feeds
     gravity-perturbation vectors from {!Flexile_traffic.Gravity} in
-    here. *)
+    here.  [regime] defaults to [name]. *)
 
 val diurnal : nedges:int -> ?levels:(float * float) array -> unit -> t
 (** Diurnal demand scaling as an edge-free unit: [levels] is
@@ -156,6 +162,10 @@ type set = {
       (** [pair_factors.(sid).(pair)] multiplies the nominal demand of
           [pair] in scenario [sid]; [None] when no unit carries a
           demand effect (capacity-only generators) *)
+  regimes : string array;
+      (** [regimes.(sid)]: ["nominal"] for the all-up scenario, the
+          common {!unit_gen.regime} when every failed unit of the
+          scenario agrees, ["mixed"] otherwise *)
 }
 
 val enumerate :

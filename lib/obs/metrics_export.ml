@@ -61,9 +61,55 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Prometheus label VALUES have their own escaping rules (exposition
+   format): backslash, double quote and line feed must be escaped;
+   everything else is passed through verbatim.  Metric and label NAMES
+   are sanitized structurally (prom_name) instead. *)
+let label_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Prometheus text exposition                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* A labeled gauge family: one # TYPE line, then one sample per
+   (label set, value) in the given order.  Label names go through
+   prom_name's character class (minus the prefix); label values are
+   escaped per the exposition format. *)
+let labeled_gauge ~name samples =
+  let b = Buffer.create 256 in
+  let sane =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+  in
+  Printf.bprintf b "# TYPE %s gauge\n" (prom_name name);
+  List.iter
+    (fun (labels, v) ->
+      Buffer.add_string b (prom_name name);
+      if labels <> [] then begin
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, value) ->
+            if i > 0 then Buffer.add_char b ',';
+            Printf.bprintf b "%s=\"%s\"" (sane k) (label_escape value))
+          labels;
+        Buffer.add_char b '}'
+      end;
+      Printf.bprintf b " %s\n" (fnum v))
+    samples;
+  Buffer.contents b
 
 let bprint_prom_hist b p (s : Trace.hist_snapshot) =
   Printf.bprintf b "# TYPE %s histogram\n" p;

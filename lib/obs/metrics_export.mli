@@ -19,6 +19,20 @@ val prom_name : string -> string
 (** Registry name to Prometheus metric name: [flexile_] prefix, every
     character outside [[a-zA-Z0-9_:]] mapped to [_]. *)
 
+val label_escape : string -> string
+(** Escape a Prometheus label {e value} per the text exposition
+    format: backslash, double quote and line feed become
+    backslash-escaped; all other bytes pass through verbatim.  Required once labels carry arbitrary catalog names
+    (class/regime tags). *)
+
+val labeled_gauge :
+  name:string -> ((string * string) list * float) list -> string
+(** Render one labeled gauge family: [# TYPE] line plus one sample per
+    [(labels, value)] in the given order.  The family name goes
+    through {!prom_name}, label names through the same character
+    class, label values through {!label_escape}.  Append the result to
+    a {!prometheus} page. *)
+
 val prometheus : ?deterministic:bool -> unit -> string
 (** The registry as Prometheus text exposition format: counters as
     [<name>_total], gauges as plain samples, timers and spans as

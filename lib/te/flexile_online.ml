@@ -12,7 +12,7 @@ let sp_maxmin = Trace.span "online.maxmin-loss"
    watching the online controller's reaction time would alert on *)
 let h_scenario = Trace.hist "online.scenario_seconds"
 
-let allocate inst ~sid ~critical ~offline_loss =
+let allocate ?duals inst ~sid ~critical ~offline_loss =
   Trace.observe_duration h_scenario @@ fun () ->
   Trace.in_span ~arg:sid sp_scenario @@ fun () ->
   let class_order =
@@ -30,7 +30,7 @@ let allocate inst ~sid ~critical ~offline_loss =
            else None)
   in
   Trace.in_span sp_maxmin (fun () ->
-      Scen_lp.maxmin_losses inst ~sid ~class_order ~prefrozen ())
+      Scen_lp.maxmin_losses inst ~sid ~class_order ~prefrozen ?duals ())
 
 let run ?jobs inst ~offline =
   Trace.in_span sp_online @@ fun () ->
@@ -39,3 +39,37 @@ let run ?jobs inst ~offline =
       allocate inst ~sid
         ~critical:(fun fid -> best.Flexile_offline.z.(fid).(sid))
         ~offline_loss:(fun fid -> best.Flexile_offline.losses.(fid).(sid)))
+
+(* The same sweep, additionally capturing each scenario's binding
+   capacity edges from the LP solution the allocation already
+   computed.  Each scenario's solve is cold (no shard-local state), so
+   both the loss matrix and the dual lists are bit-identical for every
+   job count. *)
+let run_with_duals ?jobs inst ~offline =
+  Trace.in_span sp_online @@ fun () ->
+  let best = offline.Flexile_offline.best in
+  let per_sid =
+    Scenario_engine.sweep ?jobs inst
+      ~init:(fun _ -> ())
+      ~f:(fun () sid ->
+        let captured = ref [] in
+        let fl =
+          allocate ~duals:(fun d -> captured := d) inst ~sid
+            ~critical:(fun fid -> best.Flexile_offline.z.(fid).(sid))
+            ~offline_loss:(fun fid -> best.Flexile_offline.losses.(fid).(sid))
+        in
+        (fl, !captured))
+  in
+  let losses = Instance.alloc_losses inst in
+  Array.iteri
+    (fun sid (fl, _) ->
+      Array.iter
+        (fun (f : Instance.flow) ->
+          if f.Instance.demand <= 0. then losses.(f.Instance.fid).(sid) <- 0.)
+        inst.Instance.flows;
+      List.iter
+        (fun (fid, l) ->
+          losses.(fid).(sid) <- Float.max 0. (Float.min 1. l))
+        fl)
+    per_sid;
+  (losses, Array.map snd per_sid)

@@ -22,9 +22,11 @@ type t = {
   scenarios : Failure_model.scenario array;
   alive_tunnels : int array array array array;
   demand_factors : float array array option;
+  regimes : string array option;
 }
 
-let make ~graph ~classes ~pairs ~tunnels ~demands ?demand_factors ~scenarios () =
+let make ~graph ~classes ~pairs ~tunnels ~demands ?demand_factors ?regimes
+    ~scenarios () =
   let nk = Array.length classes and np = Array.length pairs in
   if Array.length tunnels <> nk || Array.length demands <> nk then
     invalid_arg "Instance.make: class dimension mismatch";
@@ -92,6 +94,11 @@ let make ~graph ~classes ~pairs ~tunnels ~demands ?demand_factors ~scenarios () 
                invalid_arg "Instance.make: negative demand factor"))
         df
   | None -> ());
+  (match regimes with
+  | Some r ->
+      if Array.length r <> Array.length scenarios then
+        invalid_arg "Instance.make: regimes dimension mismatch"
+  | None -> ());
   {
     graph;
     classes;
@@ -101,6 +108,7 @@ let make ~graph ~classes ~pairs ~tunnels ~demands ?demand_factors ~scenarios () 
     scenarios;
     alive_tunnels;
     demand_factors;
+    regimes;
   }
 
 let demand_in t (f : flow) sid =
@@ -111,6 +119,24 @@ let demand_in t (f : flow) sid =
 let edge_capacity t ~sid e =
   t.graph.Graph.edges.(e).Graph.capacity
   *. t.scenarios.(sid).Failure_model.cap_frac.(e)
+
+let regime t ~sid =
+  match t.regimes with
+  | Some r -> r.(sid)
+  | None ->
+      (* legacy sets carry no tags: everything is either the all-up
+         scenario or an independent link failure *)
+      if Array.length t.scenarios.(sid).Failure_model.failed_units = 0 then
+        "nominal"
+      else "independent"
+
+let regime_names t =
+  let names = ref [] in
+  for sid = Array.length t.scenarios - 1 downto 0 do
+    let r = regime t ~sid in
+    if not (List.mem r !names) then names := r :: !names
+  done;
+  List.sort_uniq String.compare !names
 
 let with_classes t classes =
   if Array.length classes <> Array.length t.classes then

@@ -13,6 +13,7 @@ type ctx = {
   x : Lp_model.var array array array;
   l : Lp_model.var array;
   demand_rows : Lp_model.row array;
+  cap_rows : Lp_model.row array;
 }
 
 let build inst ~sid =
@@ -84,15 +85,16 @@ let build inst ~sid =
         ts
     done
   done;
+  let cap_rows = Array.make (Graph.nedges g) (-1) in
   Array.iteri
     (fun e coeffs ->
       if coeffs <> [] then
-        ignore
-          (Lp_model.add_row model Lp_model.Le
-             (Instance.edge_capacity inst ~sid e)
-             coeffs))
+        cap_rows.(e) <-
+          Lp_model.add_row model Lp_model.Le
+            (Instance.edge_capacity inst ~sid e)
+            coeffs)
     per_edge;
-  { inst; sid; model; x; l; demand_rows }
+  { inst; sid; model; x; l; demand_rows; cap_rows }
 
 let set_losses ctx losses values =
   Array.iter
@@ -123,13 +125,54 @@ let solve_min_weighted_max ctx ~flows ~frozen =
   | Simplex.Optimal -> Some sol.Simplex.x.(lambda)
   | _ -> None
 
+(* Clairvoyant per-class optimum: the best max loss class [cls] could
+   achieve in this scenario with the whole network to itself (other
+   classes' loss variables float free, so their demand rows consume no
+   capacity).  Any allocation restricted to the class is feasible
+   here, hence online_max_loss - class_optimum >= 0 up to LP
+   tolerance: the regret baseline. *)
+let class_optimum inst ~sid ~cls =
+  let ctx = build inst ~sid in
+  match
+    solve_min_weighted_max ctx
+      ~flows:(fun (f : Instance.flow) -> f.Instance.cls = cls)
+      ~frozen:[]
+  with
+  | Some v -> Float.max 0. (Float.min 1. v)
+  | None -> 1.
+
+(* Capacity-row duals of a solved model: the per-edge marginal value
+   of one more unit of capacity.  Nonzero entries are the saturated
+   (binding) edges — the scenario's bottlenecks. *)
+let binding_edges ctx (row_duals : float array) =
+  let acc = ref [] in
+  for e = Array.length ctx.cap_rows - 1 downto 0 do
+    let row = ctx.cap_rows.(e) in
+    if row >= 0 then begin
+      let d = Float.abs row_duals.(row) in
+      if d > 1e-9 then acc := (e, d) :: !acc
+    end
+  done;
+  !acc
+
 (* SWAN-style max-min on flow loss.  One model per scenario, reused
    across levels: each participating flow gets a row
    [lambda - l_f >= -relax_f] whose RHS toggles between 0 (active) and
    -2 (deactivated: trivially satisfied since l <= 1 <= lambda + 2). *)
 let maxmin_losses inst ~sid ~class_order ?(merge_classes = false)
-    ?(freeze_routing = false) ?(prefrozen = []) ?(max_levels = 12) () =
+    ?(freeze_routing = false) ?(prefrozen = []) ?(max_levels = 12) ?duals () =
   let ctx = build inst ~sid in
+  (* bottleneck attribution hook: hand the caller the capacity-row
+     duals of the first optimal solve — the binding edges while the
+     top priority group is being served — without a re-solve *)
+  let duals_pending = ref duals in
+  let capture (sol : Simplex.solution) =
+    match !duals_pending with
+    | None -> ()
+    | Some f ->
+        duals_pending := None;
+        f (binding_edges ctx sol.Simplex.row_duals)
+  in
   let model = ctx.model in
   let lambda = Lp_model.add_var model ~ub:1. ~obj:1. () in
   let nf = Instance.nflows inst in
@@ -196,6 +239,7 @@ let maxmin_losses inst ~sid ~class_order ?(merge_classes = false)
         let sol = Simplex.solve model in
         match sol.Simplex.status with
         | Simplex.Optimal ->
+            capture sol;
             last_sol := Some sol.Simplex.x;
             let lam = Float.max 0. sol.Simplex.x.(lambda) in
             last_lambda := lam;

@@ -16,6 +16,10 @@ type ctx = {
           demand *)
   demand_rows : Flexile_lp.Lp_model.row array;
       (** flow id -> coverage row, or -1 *)
+  cap_rows : Flexile_lp.Lp_model.row array;
+      (** edge id -> capacity row, or -1 when no alive tunnel crosses
+          the edge; the handle through which LP duals are read back as
+          per-edge bottleneck values *)
 }
 
 val build : Instance.t -> sid:int -> ctx
@@ -40,6 +44,15 @@ val solve_min_weighted_max :
     1 is always feasible).  The model is left with the added rows; use
     a fresh [ctx] per call unless noted. *)
 
+val class_optimum : Instance.t -> sid:int -> cls:int -> float
+(** The clairvoyant optimum of one class in one scenario: the minimum
+    achievable max loss over the class's flows when the whole network
+    serves only that class (other classes' coverage rows are satisfied
+    by their loss variables, consuming no capacity).  Any allocation
+    restricted to the class is feasible for this relaxation, so
+    [max online loss - class_optimum] is a nonnegative regret (up to
+    LP tolerance).  Clamped to [0, 1]; [1.] if the LP fails. *)
+
 val maxmin_losses :
   Instance.t ->
   sid:int ->
@@ -48,6 +61,7 @@ val maxmin_losses :
   ?freeze_routing:bool ->
   ?prefrozen:(int * float) list ->
   ?max_levels:int ->
+  ?duals:((int * float) list -> unit) ->
   unit ->
   (int * float) list
 (** SWAN-style iterative max-min on {e flow loss}, processing classes
@@ -60,5 +74,9 @@ val maxmin_losses :
     lower classes are served — SWAN's behaviour, as opposed to the
     joint re-routing used by ScenBest-Multi and Flexile.  [prefrozen]
     forces upper bounds on specific flows' losses (used by Flexile's
-    online phase for critical flows).  Returns [(fid, loss)] for every
-    positive-demand flow of the listed classes. *)
+    online phase for critical flows).  [duals] is called at most once,
+    with the [(edge, |dual|)] pairs of the binding capacity rows of
+    the {e first} optimal solve (the bottlenecks while the top
+    priority group is served) — threaded out of the simplex solution
+    already computed, never a re-solve.  Returns [(fid, loss)] for
+    every positive-demand flow of the listed classes. *)
