@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint monitor-smoke explain-smoke verify baseline clean
+.PHONY: all build test bench lint lint-deep monitor-smoke explain-smoke verify baseline clean
 
 all: build
 
@@ -11,29 +11,50 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# flexile-lint: AST-level determinism/concurrency/hygiene invariants
-# (DESIGN.md section 9).  Writes a machine-readable summary to
-# lint-summary.json (uploaded as a CI artifact on failure) and exits
-# non-zero on any unsuppressed finding.
-lint:
+# Scratch directory for smoke/lint artifacts so they can never end up
+# as untracked clutter (or worse, commits) in the repo root.
+SMOKE_DIR := smoke
+
+$(SMOKE_DIR):
+	mkdir -p $(SMOKE_DIR)
+
+# flexile-lint, fast syntactic stage: AST-level determinism/
+# concurrency/hygiene invariants (DESIGN.md section 9).  Writes the
+# machine-readable v2 summary to smoke/lint-summary.json (uploaded as
+# a CI artifact on failure) and exits non-zero on any unsuppressed
+# finding.  Runs pre-build by design: it parses sources directly.
+lint: | $(SMOKE_DIR)
 	dune build tools/lint/lint_main.exe
 	dune exec --no-build tools/lint/lint_main.exe -- \
-	  --json lint-summary.json lib bin bench test
+	  --json $(SMOKE_DIR)/lint-summary.json lib bin bench test
+
+# flexile-lint, deep typedtree stage (DESIGN.md section 14): needs the
+# .cmt artifacts a full build leaves behind, then adds interprocedural
+# taint (i1), shard-capture race (i2) and noalloc-kernel (i3) analysis
+# on top of the syntactic rules, with stale suppressions made fatal —
+# this is the authoritative lint verdict CI enforces.
+lint-deep: | $(SMOKE_DIR)
+	dune build
+	dune exec --no-build tools/lint/lint_main.exe -- \
+	  --deep --strict-suppressions \
+	  --json $(SMOKE_DIR)/lint-summary.json lib bin bench test
 
 # SLO monitor smoke (DESIGN.md section 10): replay a short seeded
 # failure stream twice and assert the Prometheus page and the JSONL
 # snapshot series are byte-identical — the deterministic-export
 # contract the monitor's artifacts rely on.
-monitor-smoke:
+monitor-smoke: | $(SMOKE_DIR)
 	dune build bin/flexile_cli.exe
 	dune exec --no-build bin/flexile_cli.exe -- monitor IBM --seed 7 \
 	  --draws 48 --scenarios 24 --max-pairs 40 --iterations 1 --jobs 2 \
-	  --snapshot-every 12 --prom monitor-a.prom --jsonl monitor-a.jsonl
+	  --snapshot-every 12 --prom $(SMOKE_DIR)/monitor-a.prom \
+	  --jsonl $(SMOKE_DIR)/monitor-a.jsonl
 	dune exec --no-build bin/flexile_cli.exe -- monitor IBM --seed 7 \
 	  --draws 48 --scenarios 24 --max-pairs 40 --iterations 1 --jobs 2 \
-	  --snapshot-every 12 --prom monitor-b.prom --jsonl monitor-b.jsonl
-	cmp monitor-a.prom monitor-b.prom
-	cmp monitor-a.jsonl monitor-b.jsonl
+	  --snapshot-every 12 --prom $(SMOKE_DIR)/monitor-b.prom \
+	  --jsonl $(SMOKE_DIR)/monitor-b.jsonl
+	cmp $(SMOKE_DIR)/monitor-a.prom $(SMOKE_DIR)/monitor-b.prom
+	cmp $(SMOKE_DIR)/monitor-a.jsonl $(SMOKE_DIR)/monitor-b.jsonl
 
 # Miss-attribution smoke (DESIGN.md section 13): the explain report and
 # the regime-conditioned attainment table must be byte-identical across
@@ -41,34 +62,38 @@ monitor-smoke:
 # byte-identical across repeated runs at a fixed job count (trace
 # counters such as warm-start iteration totals legitimately differ
 # across job counts, so the page is only repeat-stable).
-explain-smoke:
+explain-smoke: | $(SMOKE_DIR)
 	dune build bin/flexile_cli.exe
 	dune exec --no-build bin/flexile_cli.exe -- explain IBM --two-class \
 	  --scenarios srlg,partial,drift --max-pairs 60 --iterations 1 --jobs 1 \
-	  --out explain-a.json --regimes explain-a-regimes.json
+	  --out $(SMOKE_DIR)/explain-a.json \
+	  --regimes $(SMOKE_DIR)/explain-a-regimes.json
 	dune exec --no-build bin/flexile_cli.exe -- explain IBM --two-class \
 	  --scenarios srlg,partial,drift --max-pairs 60 --iterations 1 --jobs 4 \
-	  --out explain-b.json --regimes explain-b-regimes.json \
-	  --prom explain-b.prom
+	  --out $(SMOKE_DIR)/explain-b.json \
+	  --regimes $(SMOKE_DIR)/explain-b-regimes.json \
+	  --prom $(SMOKE_DIR)/explain-b.prom
 	dune exec --no-build bin/flexile_cli.exe -- explain IBM --two-class \
 	  --scenarios srlg,partial,drift --max-pairs 60 --iterations 1 --jobs 4 \
-	  --prom explain-c.prom
-	cmp explain-a.json explain-b.json
-	cmp explain-a-regimes.json explain-b-regimes.json
-	cmp explain-b.prom explain-c.prom
+	  --prom $(SMOKE_DIR)/explain-c.prom
+	cmp $(SMOKE_DIR)/explain-a.json $(SMOKE_DIR)/explain-b.json
+	cmp $(SMOKE_DIR)/explain-a-regimes.json $(SMOKE_DIR)/explain-b-regimes.json
+	cmp $(SMOKE_DIR)/explain-b.prom $(SMOKE_DIR)/explain-c.prom
 
 # Relative headroom for the benchmark regression gate.  50% absorbs
 # ordinary same-machine jitter; CI overrides this upward because the
 # committed baseline was recorded on a different machine.
 BENCH_TOLERANCE ?= 50
 
-# Tier-1 verification: full build, the linter, the test suite, the
-# monitor and explain determinism smokes, a smoke run of the
-# micro-benchmarks (exercises the parallel sweep at jobs 1 and 4), and
-# the regression gate against the committed baseline.
+# Tier-1 verification: full build, both lint stages (syntactic
+# pre-build signal, then the deep typedtree stage over the fresh cmts),
+# the test suite, the monitor and explain determinism smokes, a smoke
+# run of the micro-benchmarks (exercises the parallel sweep at jobs 1
+# and 4), and the regression gate against the committed baseline.
 verify:
-	dune build
 	$(MAKE) lint
+	dune build
+	$(MAKE) lint-deep
 	dune runtest
 	$(MAKE) monitor-smoke
 	$(MAKE) explain-smoke
@@ -83,3 +108,4 @@ baseline:
 
 clean:
 	dune clean
+	rm -rf $(SMOKE_DIR)

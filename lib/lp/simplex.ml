@@ -220,7 +220,7 @@ let ftran st j w =
   Basis.ftran st.basis w
 
 (* y := costs_B B^-1 (BTRAN). *)
-let btran st costs y =
+let[@lint.noalloc] btran st costs y =
   for k = 0 to st.m - 1 do
     y.(k) <- costs.(st.bas.(k))
   done;
@@ -232,7 +232,7 @@ let btran st costs y =
    updates and the dual ratio test need; iterating its pattern instead
    of all [ntot] columns is what makes a pivot cost proportional to
    the pivot row's fill. *)
-let scatter_alpha st rho =
+let[@lint.noalloc] scatter_alpha st rho =
   let sv = st.asv in
   Sparse.Svec.clear sv;
   for i = 0 to st.m - 1 do

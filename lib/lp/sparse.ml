@@ -36,7 +36,7 @@ module Svec = struct
   let dim t = t.dim
   let nnz t = t.nnz
 
-  let clear t =
+  let[@lint.noalloc] clear t =
     for k = 0 to t.nnz - 1 do
       let i = t.idx.(k) in
       t.vals.(i) <- 0.;
@@ -44,7 +44,7 @@ module Svec = struct
     done;
     t.nnz <- 0
 
-  let add t i v =
+  let[@lint.noalloc] add t i v =
     if not t.mark.(i) then begin
       t.mark.(i) <- true;
       t.idx.(t.nnz) <- i;
@@ -52,8 +52,8 @@ module Svec = struct
     end;
     t.vals.(i) <- t.vals.(i) +. v
 
-  let get t i = t.vals.(i)
-  let mem t i = t.mark.(i)
+  let[@lint.noalloc] get t i = t.vals.(i)
+  let[@lint.noalloc] mem t i = t.mark.(i)
 
   let iter t f =
     for k = 0 to t.nnz - 1 do
@@ -68,7 +68,7 @@ end
 (* Growable arenas (amortized doubling, reused across factorizations)  *)
 (* ------------------------------------------------------------------ *)
 
-let grow_i a needed =
+let[@lint.alloc_ok "amortized-doubling arena growth"] grow_i a needed =
   if Array.length a >= needed then a
   else begin
     let b = Array.make (max needed (2 * Array.length a)) 0 in
@@ -76,7 +76,7 @@ let grow_i a needed =
     b
   end
 
-let grow_f a needed =
+let[@lint.alloc_ok "amortized-doubling arena growth"] grow_f a needed =
   if Array.length a >= needed then a
   else begin
     let b = Array.make (max needed (2 * Array.length a)) 0. in
@@ -365,7 +365,7 @@ module Basis = struct
 
   (* FTRAN: in place, input indexed by row, output indexed by basis
      position: v := E_k^-1 ... E_1^-1 Q U^-1 L^-1 P v. *)
-  let ftran t v =
+  let[@lint.noalloc] ftran t v =
     if not t.factored then invalid_arg "Sparse.Basis.ftran: not factored";
     let m = t.m in
     (* L solve in row space, ascending steps *)
@@ -408,7 +408,7 @@ module Basis = struct
 
   (* BTRAN: in place, input indexed by basis position, output indexed
      by row: y solves y^T B = c^T. *)
-  let btran t v =
+  let[@lint.noalloc] btran t v =
     if not t.factored then invalid_arg "Sparse.Basis.btran: not factored";
     let m = t.m in
     (* eta file, newest first: c_r := (c_r - sum w_i c_i) / w_r *)
@@ -441,14 +441,14 @@ module Basis = struct
 
   (* rho := row r of B^-1 (the BTRAN of a basis-position unit vector);
      fills the caller's dense workspace. *)
-  let btran_unit t r v =
+  let[@lint.noalloc] btran_unit t r v =
     Array.fill v 0 t.m 0.;
     v.(r) <- 1.;
     btran t v
 
   (* ---- product-form update ---- *)
 
-  let update t ~r ~w =
+  let[@lint.noalloc] update t ~r ~w =
     if not t.factored then invalid_arg "Sparse.Basis.update: not factored";
     if Float.abs w.(r) < eta_pivot_tol then false
     else begin

@@ -99,7 +99,8 @@ let run ?beta ?jobs inst =
           end)
         flows
     done;
-    List.stable_sort (fun (a, _) (b, _) -> compare b a) !out |> List.map snd
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare b a) !out
+    |> List.map snd
   in
   let sol, rounds = Row_gen.solve ~violated model in
   if sol.Simplex.status <> Simplex.Optimal then

@@ -9,4 +9,4 @@ let zero ?(eps = default_eps) x = Float.abs x <= eps
    (rightly) refuse to distinguish from an accident. *)
 let exactly_zero x = (x = 0.) [@lint.allow "d2-float-eq"]
 let nonzero x = not (exactly_zero x)
-let exactly_equal a b = (a = b) [@lint.allow "d2-float-eq"]
+let exactly_equal (a : float) b = (a = b) [@lint.allow "d2-float-eq"]

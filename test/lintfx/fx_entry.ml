@@ -1,0 +1,11 @@
+(* Entry layer: these are the roots the fixture test seeds the taint
+   walk with (roots = ["Flexile_lintfx.Fx_entry"]). *)
+
+(* i1 positive: drive -> pick -> noise is a two-hop chain to the RNG *)
+let drive n = Fx_mid.pick n
+
+(* negative: transitively deterministic *)
+let steady x = Fx_mid.calm x
+
+(* i1 positive: scan_shared -> tbl_scan reaches Hashtbl.fold *)
+let scan_shared tbl = Fx_mid.tbl_scan tbl

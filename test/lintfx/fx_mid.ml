@@ -1,0 +1,8 @@
+(* Middle layer: forwards to Fx_leaf so taint must cross two call
+   hops before reaching the primitive. *)
+
+let pick n = Fx_leaf.noise n + 1
+let calm x = Fx_leaf.pure x
+
+(* i1 positive seed: unordered table traversal, one hop from entry *)
+let tbl_scan tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

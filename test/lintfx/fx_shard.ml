@@ -1,0 +1,70 @@
+(* Seeded i2 violations: closures handed to the Parallel shard APIs
+   that write state captured from the enclosing scope, plus negative
+   twins (read-only capture, DLS, ~init-provided per-worker state). *)
+
+module Parallel = Flexile_util.Parallel
+
+(* positive: the classic lost-update race, a captured ref written from
+   every worker *)
+let total_races items =
+  let total = ref 0 in
+  let _ =
+    Parallel.map ~jobs:2 ~n:(Array.length items)
+      ~init:(fun _ -> ())
+      ~f:(fun () i ->
+        total := !total + items.(i);
+        items.(i))
+      ()
+  in
+  !total
+
+(* positive: captured Hashtbl mutated from workers *)
+let tally_races items =
+  let seen = Hashtbl.create 16 in
+  Parallel.map ~jobs:2 ~n:(Array.length items)
+    ~init:(fun _ -> ())
+    ~f:(fun () i ->
+      Hashtbl.replace seen items.(i) i;
+      items.(i))
+    ()
+
+(* positive: write-through into a captured array (an Array.set on the
+   shard index still races with resizing/aliasing by the caller) *)
+let per_slot_writes out items =
+  Parallel.map ~jobs:2 ~n:(Array.length items)
+    ~init:(fun _ -> ())
+    ~f:(fun () i ->
+      out.(i) <- items.(i) * 2;
+      out.(i))
+    ()
+
+(* negative: read-only capture is the supported pattern *)
+let readonly_ok items =
+  Parallel.map ~jobs:2 ~n:(Array.length items)
+    ~init:(fun _ -> ())
+    ~f:(fun () i -> items.(i) * 2)
+    ()
+
+(* negative: per-worker accumulation through Domain.DLS *)
+let dls_key = Domain.DLS.new_key (fun () -> 0)
+
+let dls_ok items =
+  Parallel.map ~jobs:2 ~n:(Array.length items)
+    ~init:(fun _ -> ())
+    ~f:(fun () i ->
+      Domain.DLS.set dls_key (Domain.DLS.get dls_key + items.(i));
+      items.(i))
+    ()
+
+(* negative: same shape as total_races but explicitly waived *)
+let[@lint.allow "i2-shard-capture"] suppressed_races items =
+  let total = ref 0 in
+  let _ =
+    Parallel.map ~jobs:2 ~n:(Array.length items)
+      ~init:(fun _ -> ())
+      ~f:(fun () i ->
+        total := !total + items.(i);
+        items.(i))
+      ()
+  in
+  !total

@@ -36,9 +36,15 @@ let d1_negative () =
     (lint {|let f () = Hashtbl.create ~random:false 16|})
 
 let d1_config_allow () =
-  (* lib/util/prng.ml is the sanctioned randomness source *)
+  (* the stale d1 entry for prng.ml was removed when staleness checking
+     landed: a raw Random use there is a finding again... *)
   let r = lint ~file:"lib/util/prng.ml" {|let f () = Random.int 5|} in
-  check_rules "allowlisted file" [] r;
+  check_rules "prng.ml no longer allowlisted" [ "d1-nondet" ] r;
+  (* ...while the live h1 entry for the figure renderer still counts *)
+  let r =
+    lint ~file:"lib/core/figures.ml" {|let f x = Printf.printf "%d" x|}
+  in
+  check_rules "figures.ml allowlisted for h1" [] r;
   Alcotest.(check int) "counted as config-allowed" 1 r.E.config_suppressed
 
 let d1_zone_gate () =
@@ -213,7 +219,7 @@ let json_shape () =
     | None -> Alcotest.failf "missing int member %s" k
   in
   Alcotest.(check string) "schema" "flexile-lint-summary" (str_member "schema");
-  Alcotest.(check int) "version" 1 (int_member "version");
+  Alcotest.(check int) "version" 2 (int_member "version");
   Alcotest.(check int) "files" 2 (int_member "files_checked");
   Alcotest.(check int) "total" 2 (int_member "total_findings");
   (* per-rule counts cover every rule id *)
@@ -246,13 +252,14 @@ let json_shape () =
     fs
 
 let rules_documented () =
-  Alcotest.(check int) "six rules" 6 (List.length E.rules);
+  Alcotest.(check int) "ten rules" 10 (List.length E.rules);
   List.iter
     (fun id ->
       if not (List.mem_assoc id E.rules) then Alcotest.failf "missing %s" id)
     [
       "d1-nondet"; "d2-float-eq"; "d3-tbl-order"; "c1-concurrency";
-      "c2-global-mut"; "h1-io";
+      "c2-global-mut"; "h1-io"; "i1-trans-nondet"; "i2-shard-capture";
+      "i3-noalloc"; "s1-stale-suppress";
     ]
 
 let render () =
@@ -265,6 +272,70 @@ let render () =
         && String.sub s 0 (String.length "lib/fixture.ml:1: [d2-float-eq]")
            = "lib/fixture.ml:1: [d2-float-eq]")
   | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+
+(* ------------------------------------------------------------------ *)
+(* s1 stale suppressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stale_unknown_id () =
+  (* a typo'd rule id is reported even by a syntactic-only run *)
+  let r = lint {|let f () = () [@lint.allow "d1-nondte"]|} in
+  let st = E.stale_suppressions ~deep:false r in
+  Alcotest.(check int) "one stale" 1 (List.length st);
+  match st with
+  | [ s ] ->
+      Alcotest.(check string) "id" "d1-nondte" s.E.st_id;
+      Alcotest.(check string) "kind" "allow-attribute" s.E.st_kind
+  | _ -> Alcotest.fail "unreachable"
+
+let attr_stales ~deep r =
+  List.filter
+    (fun s -> s.E.st_kind = "allow-attribute")
+    (E.stale_suppressions ~deep r)
+
+let stale_unused_attr () =
+  let r = lint {|let f () = () [@lint.allow "d1-nondet"]|} in
+  (* syntactic-only runs do not adjudicate: the deep stage might still
+     need the attribute as a taint-seed waiver *)
+  Alcotest.(check int) "not judged shallow" 0
+    (List.length (attr_stales ~deep:false r));
+  (* a full run knows both stages ran, so unused means stale *)
+  match attr_stales ~deep:true r with
+  | [ st ] ->
+      let f = E.finding_of_stale st in
+      Alcotest.(check string) "as finding" "s1-stale-suppress" f.E.rule
+  | st -> Alcotest.failf "expected 1 stale attr, got %d" (List.length st)
+
+let stale_used_attr_clean () =
+  let r = lint {|let f () = Random.int 5 [@lint.allow "d1-nondet"]|} in
+  Alcotest.(check int) "suppressed" 1 r.E.suppressed;
+  Alcotest.(check int) "not stale" 0 (List.length (attr_stales ~deep:true r))
+
+let stale_zone_exempt () =
+  (* the rule is inactive in test/, so the attribute cannot match and
+     must not be called stale *)
+  let r = lint ~file:"test/fixture.ml" {|let f () = () [@lint.allow "d1-nondet"]|} in
+  Alcotest.(check int) "exempt" 0 (List.length (attr_stales ~deep:true r))
+
+let stale_config_entries () =
+  (* only the h1/figures pair earns its keep in this report; the other
+     Lint_config pairs show up as stale *)
+  let r =
+    lint ~file:"lib/core/figures.ml" {|let f x = Printf.printf "%d" x|}
+  in
+  let st = E.stale_suppressions ~deep:true r in
+  let stale_pairs =
+    List.filter_map
+      (fun s ->
+        if s.E.st_kind = "config-entry" then Some (s.E.st_id, s.E.st_file)
+        else None)
+      st
+  in
+  Alcotest.(check bool) "used pair not stale" false
+    (List.mem ("h1-io", "lib/core/figures.ml") stale_pairs);
+  Alcotest.(check bool) "unused pair stale" true
+    (List.mem ("c1-concurrency", "lib/util/parallel.ml") stale_pairs)
 
 let () =
   Alcotest.run "flexile_lint"
@@ -315,6 +386,13 @@ let () =
           Alcotest.test_case "merge" `Quick merge_reports;
           Alcotest.test_case "json summary" `Quick json_shape;
           Alcotest.test_case "rule table" `Quick rules_documented;
+          Alcotest.test_case "stale unknown id" `Quick stale_unknown_id;
+          Alcotest.test_case "stale unused attr" `Quick stale_unused_attr;
+          Alcotest.test_case "stale used attr clean" `Quick
+            stale_used_attr_clean;
+          Alcotest.test_case "stale zone exempt" `Quick stale_zone_exempt;
+          Alcotest.test_case "stale config entries" `Quick
+            stale_config_entries;
           Alcotest.test_case "rendering" `Quick render;
         ] );
     ]

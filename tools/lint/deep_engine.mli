@@ -1,0 +1,38 @@
+(** Typedtree-level interprocedural analysis stage for flexile-lint
+    (DESIGN.md section 14).
+
+    Consumes the [.cmt] artifacts dune produces and enforces three rule
+    families the syntactic stage cannot see:
+
+    - [i1-trans-nondet]: forward taint from the [Scenario_engine] /
+      [Parallel] entry points (and from every function that hands a
+      closure to a shard API) over the call graph; any reachable use of
+      a raw nondeterministic primitive is reported with a call-chain
+      witness.
+    - [i2-shard-capture]: closures passed as [~init] / [~f] into the
+      shard APIs must not write captured or module-level mutable state.
+    - [i3-noalloc]: the body of a [[\@lint.noalloc]] function and its
+      transitive callees must not heap-allocate outside the
+      [[\@lint.alloc_ok]] whitelist.
+
+    The engine does not zone-gate: it analyses exactly the cmts it is
+    given (the driver feeds it [lib/] only; the fixture tests feed it
+    seeded-violation modules under [test/]). *)
+
+val default_roots : string list
+(** Module prefixes whose top-level functions seed the i1 taint walk:
+    [Flexile_te.Scenario_engine] and [Flexile_util.Parallel]. *)
+
+val shard_apis : string list
+(** Canonical names of the shard entry points whose [~init] / [~f]
+    closures are subject to [i2-shard-capture]. *)
+
+val analyze : ?roots:string list -> string list -> Lint_engine.report
+(** [analyze cmt_paths] reads each [.cmt], extracts a per-function
+    summary (calls, primitive uses, allocation sites, attributes),
+    builds the cross-module call graph and runs the three analyses.
+    [roots] overrides {!default_roots}.  Unreadable cmts yield a
+    [cmt-error] finding rather than an exception.  [files_checked]
+    counts cmts; [used_allows] / [used_config] feed the driver's
+    staleness pass (declaration of suppression sites is the syntactic
+    stage's job, since it parses the sources). *)

@@ -5,8 +5,16 @@
    is echoed into the JSON summary.  Site-level exceptions should
    prefer a [@lint.allow "rule-id"] attribute next to the offending
    expression; this table is for files whose *purpose* is to be the
-   exception (the PRNG is allowed to be random, the domain pool is
-   allowed to spawn domains, the figure renderer is allowed to print). *)
+   exception (the domain pool is allowed to spawn domains, the figure
+   renderer is allowed to print).
+
+   Entries are themselves checked: `flexile-lint --strict-suppressions`
+   fails when an (entry, file) pair no longer matches any finding, so
+   allowances cannot outlive the code they were written for.  (A d1
+   entry for prng.ml/trace.ml and a speculative c2 entry for sparse.ml
+   used to live here; both had rotted — the PRNG is a pure seeded
+   splitmix and sparse.ml keeps all of its mutable state inside Svec /
+   Basis values — and were removed when the staleness check landed.) *)
 
 type entry = {
   rule : string;
@@ -16,13 +24,6 @@ type entry = {
 
 let entries =
   [
-    {
-      rule = "d1-nondet";
-      files = [ "lib/util/prng.ml"; "lib/util/trace.ml" ];
-      why =
-        "the sanctioned nondeterminism sources: the seeded PRNG and the \
-         trace monotonic clock";
-    };
     {
       rule = "c1-concurrency";
       files = [ "lib/util/parallel.ml"; "lib/util/trace.ml" ];
@@ -37,16 +38,6 @@ let entries =
       why =
         "mutex-guarded process-global pool and metric registry; shared by \
          design and touched only at handle creation / aggregation time";
-    };
-    {
-      rule = "c2-global-mut";
-      files = [ "lib/lp/sparse.ml" ];
-      why =
-        "the sparse simplex kernels deliberately reuse mutable \
-         scatter/gather workspaces and amortized-doubling arenas so the \
-         pivot loop allocates nothing; all state is owned by the Svec / \
-         Basis values, and any module-level scratch added here shares \
-         that single-owner discipline (DESIGN.md section 11)";
     };
     {
       rule = "h1-io";
@@ -72,4 +63,22 @@ let find ~rule ~file =
     (fun e -> e.rule = rule && List.exists (suffix_matches ~file) e.files)
     entries
 
+(* Like {!find} but also returns the file suffix that matched, so the
+   caller can record which (rule, suffix) pair actually earned its
+   keep — the unit the staleness check operates on. *)
+let find_with_suffix ~rule ~file =
+  List.find_map
+    (fun e ->
+      if e.rule <> rule then None
+      else
+        match List.find_opt (suffix_matches ~file) e.files with
+        | Some suffix -> Some (e, suffix)
+        | None -> None)
+    entries
+
 let allowed ~rule ~file = find ~rule ~file <> None
+
+(* Every (rule, file-suffix) pair declared above, for staleness
+   accounting in the driver. *)
+let declared_pairs =
+  List.concat_map (fun e -> List.map (fun f -> (e.rule, f)) e.files) entries

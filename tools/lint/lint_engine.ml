@@ -2,9 +2,18 @@
    walk the Parsetree with an Ast_iterator, report rule hits.  The
    rules encode invariants introduced by earlier PRs (deterministic
    parallel sweeps, DLS-based tracing, tolerance-based numerics); see
-   DESIGN.md section 9 for the rationale behind each id. *)
+   DESIGN.md section 9 for the rationale behind each id.
+
+   This module owns the finding/report vocabulary for BOTH analysis
+   stages: the fast syntactic stage implemented here, and the
+   typedtree-based deep stage ({!Deep_engine}) which reuses the same
+   record types so the driver can merge the two into one summary. *)
 
 open Parsetree
+
+(* One hop of an interprocedural witness: function key, file, line of
+   the call (or of the offending site for the last element). *)
+type chain_elt = { c_fn : string; c_file : string; c_line : int }
 
 type finding = {
   file : string;
@@ -12,16 +21,40 @@ type finding = {
   col : int;
   rule : string;
   message : string;
+  chain : chain_elt list;
+      (* call-chain witness for deep findings; [] for syntactic ones *)
 }
+
+(* A [@lint.allow]/[@lint.alloc_ok] site, identified by the attribute's
+   own source position plus one rule id it names.  Declared sites that
+   are never [used] by either stage are stale suppressions. *)
+type allow_site = { a_file : string; a_line : int; a_id : string }
 
 type report = {
   files_checked : int;
   findings : finding list;
   suppressed : int;
   config_suppressed : int;
+  declared_allows : allow_site list;
+  used_allows : allow_site list;
+  used_config : (string * string) list;  (* (rule, matched file suffix) *)
 }
 
-let rules =
+let empty_report =
+  {
+    files_checked = 0;
+    findings = [];
+    suppressed = 0;
+    config_suppressed = 0;
+    declared_allows = [];
+    used_allows = [];
+    used_config = [];
+  }
+
+(* The full rule vocabulary.  d/c/h rules are enforced by the syntactic
+   stage below; i-rules by the typedtree deep stage; s1 is produced by
+   the driver's staleness pass. *)
+let syntactic_rules =
   [
     ( "d1-nondet",
       "no Random.*, Sys.time, Unix.gettimeofday or hash-randomised tables \
@@ -43,6 +76,33 @@ let rules =
       "no Obj.magic, exit or direct printing in lib/; output flows \
        through Trace or the CLI layer" );
   ]
+
+let deep_rules =
+  [
+    ( "i1-trans-nondet",
+      "no function transitively reachable from the Scenario_engine / \
+       Parallel entry points (or from a closure handed to a shard API) \
+       may touch a nondeterministic primitive, however many calls deep" );
+    ( "i2-shard-capture",
+      "a closure passed into a Parallel / Scenario_engine shard API must \
+       not write captured or module-level mutable state (ref, array, \
+       bytes, Hashtbl, mutable record fields); per-worker state comes \
+       from the init callback or Domain.DLS" );
+    ( "i3-noalloc",
+      "the body of a [@lint.noalloc] kernel, and every lib/ function it \
+       transitively calls, must not heap-allocate outside the \
+       [@lint.alloc_ok] whitelist (amortized arena growth, error paths)" );
+  ]
+
+let driver_rules =
+  [
+    ( "s1-stale-suppress",
+      "every Lint_config entry and [@lint.allow]/[@lint.alloc_ok] \
+       attribute must still match at least one finding; stale \
+       suppressions are reported and fatal under --strict-suppressions" );
+  ]
+
+let rules = syntactic_rules @ deep_rules @ driver_rules
 
 (* ------------------------------------------------------------------ *)
 (* Zones                                                               *)
@@ -166,29 +226,42 @@ let split_ids s =
   |> List.concat_map (String.split_on_char ',')
   |> List.filter (fun x -> x <> "")
 
-let allow_ids_of_attrs attrs =
+let string_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* [(id, line-of-attribute)] for every id named by a [@lint.allow]
+   attribute in [attrs]; a [@lint.alloc_ok] attribute declares the
+   pseudo-id "alloc-ok" (it is consumed by the deep stage's noalloc
+   checker, but declared here so staleness covers it too). *)
+let allow_sites_of_attrs attrs =
   List.concat_map
     (fun a ->
-      if a.attr_name.txt <> "lint.allow" then []
-      else
-        match a.attr_payload with
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval
-                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
-                      _ );
-                _;
-              };
-            ] ->
-            split_ids s
-        | _ -> [])
+      let line = a.attr_loc.Location.loc_start.Lexing.pos_lnum in
+      if a.attr_name.txt = "lint.allow" then
+        match string_payload a.attr_payload with
+        | Some s -> List.map (fun id -> (id, line)) (split_ids s)
+        | None -> []
+      else if a.attr_name.txt = "lint.alloc_ok" then [ ("alloc-ok", line) ]
+      else [])
     attrs
+
+let allow_ids_of_attrs attrs = List.map fst (allow_sites_of_attrs attrs)
 
 (* ------------------------------------------------------------------ *)
 (* The checker                                                         *)
 (* ------------------------------------------------------------------ *)
+
+type stack_entry = { se_id : string; se_line : int; mutable se_used : bool }
 
 type ctx = {
   cfile : string;
@@ -196,33 +269,59 @@ type ctx = {
   mutable out : finding list;
   mutable n_suppressed : int;
   mutable n_config : int;
-  mutable allow_stack : string list;
+  mutable allow_stack : stack_entry list;
   mutable expr_depth : int;
+  mutable declared : allow_site list;
+  mutable used : allow_site list;
+  mutable cfg_used : (string * string) list;
 }
+
+let declare_site ctx (id, line) =
+  let s = { a_file = ctx.cfile; a_line = line; a_id = id } in
+  if not (List.mem s ctx.declared) then ctx.declared <- s :: ctx.declared
+
+let mark_used ctx se =
+  if not se.se_used then begin
+    se.se_used <- true;
+    let s = { a_file = ctx.cfile; a_line = se.se_line; a_id = se.se_id } in
+    if not (List.mem s ctx.used) then ctx.used <- s :: ctx.used
+  end
 
 let hit ctx rule (loc : Location.t) message =
   if rule_active rule ctx.zone then
-    if List.mem rule ctx.allow_stack then
-      ctx.n_suppressed <- ctx.n_suppressed + 1
-    else if Lint_config.allowed ~rule ~file:ctx.cfile then
-      ctx.n_config <- ctx.n_config + 1
-    else
-      let p = loc.loc_start in
-      ctx.out <-
-        {
-          file = ctx.cfile;
-          line = p.pos_lnum;
-          col = p.pos_cnum - p.pos_bol;
-          rule;
-          message;
-        }
-        :: ctx.out
+    match List.find_opt (fun se -> se.se_id = rule) ctx.allow_stack with
+    | Some se ->
+        mark_used ctx se;
+        ctx.n_suppressed <- ctx.n_suppressed + 1
+    | None -> (
+        match Lint_config.find_with_suffix ~rule ~file:ctx.cfile with
+        | Some (_, suffix) ->
+            if not (List.mem (rule, suffix) ctx.cfg_used) then
+              ctx.cfg_used <- (rule, suffix) :: ctx.cfg_used;
+            ctx.n_config <- ctx.n_config + 1
+        | None ->
+            let p = loc.loc_start in
+            ctx.out <-
+              {
+                file = ctx.cfile;
+                line = p.pos_lnum;
+                col = p.pos_cnum - p.pos_bol;
+                rule;
+                message;
+                chain = [];
+              }
+              :: ctx.out)
 
-let with_allow ctx ids f =
-  if ids = [] then f ()
+let with_allow ctx sites f =
+  List.iter (declare_site ctx) sites;
+  if sites = [] then f ()
   else begin
     let saved = ctx.allow_stack in
-    ctx.allow_stack <- ids @ saved;
+    ctx.allow_stack <-
+      List.map
+        (fun (id, line) -> { se_id = id; se_line = line; se_used = false })
+        sites
+      @ saved;
     Fun.protect ~finally:(fun () -> ctx.allow_stack <- saved) f
   end
 
@@ -300,10 +399,10 @@ let check_global_binding ctx vb =
   match global_mut_kind vb.pvb_expr with
   | None -> ()
   | Some kind ->
-      let ids =
-        allow_ids_of_attrs (vb.pvb_attributes @ vb.pvb_expr.pexp_attributes)
+      let sites =
+        allow_sites_of_attrs (vb.pvb_attributes @ vb.pvb_expr.pexp_attributes)
       in
-      with_allow ctx ids (fun () ->
+      with_allow ctx sites (fun () ->
           hit ctx "c2-global-mut" vb.pvb_loc
             ("module-level mutable state (" ^ kind ^ " '" ^ binding_name vb
            ^ "'); pass state explicitly, or annotate with [@lint.allow \
@@ -313,8 +412,8 @@ let check_global_binding ctx vb =
 let make_iterator ctx =
   let default = Ast_iterator.default_iterator in
   let expr self e =
-    let ids = allow_ids_of_attrs e.pexp_attributes in
-    with_allow ctx ids (fun () ->
+    let sites = allow_sites_of_attrs e.pexp_attributes in
+    with_allow ctx sites (fun () ->
         (match e.pexp_desc with
         | Pexp_ident { txt; _ } -> check_ident ctx e.pexp_loc (flat txt)
         | Pexp_apply _ -> check_apply ctx e
@@ -325,12 +424,12 @@ let make_iterator ctx =
           (fun () -> default.expr self e))
   in
   let structure_item self item =
-    let item_ids =
+    let item_sites =
       match item.pstr_desc with
-      | Pstr_eval (_, attrs) -> allow_ids_of_attrs attrs
+      | Pstr_eval (_, attrs) -> allow_sites_of_attrs attrs
       | _ -> []
     in
-    with_allow ctx item_ids (fun () ->
+    with_allow ctx item_sites (fun () ->
         (match item.pstr_desc with
         | Pstr_value (_, vbs) when ctx.expr_depth = 0 ->
             List.iter (check_global_binding ctx) vbs
@@ -338,8 +437,8 @@ let make_iterator ctx =
         default.structure_item self item)
   in
   let value_binding self vb =
-    let ids = allow_ids_of_attrs vb.pvb_attributes in
-    with_allow ctx ids (fun () -> default.value_binding self vb)
+    let sites = allow_sites_of_attrs vb.pvb_attributes in
+    with_allow ctx sites (fun () -> default.value_binding self vb)
   in
   { default with expr; structure_item; value_binding }
 
@@ -360,6 +459,9 @@ let check_source ~file src =
       n_config = 0;
       allow_stack = [];
       expr_depth = 0;
+      declared = [];
+      used = [];
+      cfg_used = [];
     }
   in
   let lexbuf = Lexing.from_string src in
@@ -383,6 +485,7 @@ let check_source ~file src =
          col;
          rule = "parse-error";
          message = "source failed to parse: " ^ Printexc.to_string exn;
+         chain = [];
        }
        :: ctx.out);
   {
@@ -390,6 +493,9 @@ let check_source ~file src =
     findings = List.rev ctx.out;
     suppressed = ctx.n_suppressed;
     config_suppressed = ctx.n_config;
+    declared_allows = List.rev ctx.declared;
+    used_allows = List.rev ctx.used;
+    used_config = List.rev ctx.cfg_used;
   }
 
 let read_file path =
@@ -400,6 +506,8 @@ let read_file path =
 
 let check_file path = check_source ~file:path (read_file path)
 
+let union a b = a @ List.filter (fun x -> not (List.mem x a)) b
+
 let merge reports =
   List.fold_left
     (fun acc r ->
@@ -408,16 +516,121 @@ let merge reports =
         findings = acc.findings @ r.findings;
         suppressed = acc.suppressed + r.suppressed;
         config_suppressed = acc.config_suppressed + r.config_suppressed;
+        declared_allows = union acc.declared_allows r.declared_allows;
+        used_allows = union acc.used_allows r.used_allows;
+        used_config = union acc.used_config r.used_config;
       })
-    { files_checked = 0; findings = []; suppressed = 0; config_suppressed = 0 }
-    reports
+    empty_report reports
+
+(* ------------------------------------------------------------------ *)
+(* Staleness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A suppression kind is only judged by a run that actually enforces
+   the rules it can silence: a syntactic-only run must not call the
+   deep-stage attributes stale. *)
+type stale = {
+  st_kind : string;  (* "allow-attribute" | "config-entry" *)
+  st_file : string;
+  st_line : int;  (* 0 for config entries *)
+  st_id : string;  (* rule id, or "alloc-ok" *)
+  st_detail : string;
+}
+
+let known_ids = "alloc-ok" :: List.map fst rules
+
+(* A syntactic-only run cannot tell whether the deep stage still needs
+   a suppression (the sanctioned wrappers in Float_cmp / Tbl silence
+   i1 seeds via their d2/d3 attributes), so it only reports unknown
+   rule ids; full adjudication happens when [deep] runs both stages. *)
+let stale_suppressions ~deep report =
+  let checked id =
+    deep
+    && (List.mem_assoc id syntactic_rules
+       || List.mem_assoc id deep_rules
+       || id = "alloc-ok")
+  in
+  let attr_stales =
+    List.filter_map
+      (fun s ->
+        if List.mem s report.used_allows then None
+        else if not (List.mem s.a_id known_ids) then
+          Some
+            {
+              st_kind = "allow-attribute";
+              st_file = s.a_file;
+              st_line = s.a_line;
+              st_id = s.a_id;
+              st_detail = "names an unknown rule id (typo?)";
+            }
+        else if
+          checked s.a_id
+          && rule_active
+               (if s.a_id = "alloc-ok" then "i3-noalloc" else s.a_id)
+               (zone_of_file s.a_file)
+          (* deep-rule attributes only count where the deep stage looks *)
+          && ((not (List.mem_assoc s.a_id deep_rules)) && s.a_id <> "alloc-ok"
+             || zone_of_file s.a_file = Lib)
+        then
+          Some
+            {
+              st_kind = "allow-attribute";
+              st_file = s.a_file;
+              st_line = s.a_line;
+              st_id = s.a_id;
+              st_detail = "no longer matches any finding; delete it";
+            }
+        else None)
+      report.declared_allows
+  in
+  let config_stales =
+    List.filter_map
+      (fun (rule, suffix) ->
+        if List.mem (rule, suffix) report.used_config then None
+        else if not (checked rule) then None
+        else
+          Some
+            {
+              st_kind = "config-entry";
+              st_file = suffix;
+              st_line = 0;
+              st_id = rule;
+              st_detail =
+                "Lint_config entry no longer matches any finding in this \
+                 file; remove the suffix (or the whole entry)";
+            })
+      Lint_config.declared_pairs
+  in
+  attr_stales @ config_stales
+
+let finding_of_stale s =
+  {
+    file = s.st_file;
+    line = s.st_line;
+    col = 0;
+    rule = "s1-stale-suppress";
+    message =
+      Printf.sprintf "stale %s for '%s': %s" s.st_kind s.st_id s.st_detail;
+    chain = [];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let render_chain chain =
+  match chain with
+  | [] -> ""
+  | _ ->
+      "\n    via "
+      ^ String.concat "\n     -> "
+          (List.map
+             (fun c -> Printf.sprintf "%s (%s:%d)" c.c_fn c.c_file c.c_line)
+             chain)
+
 let render_finding f =
-  Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+  Printf.sprintf "%s:%d: [%s] %s%s" f.file f.line f.rule f.message
+    (render_chain f.chain)
 
 (* JSON emission mirrors the conventions of Flexile_util.Trace_export:
    hand-rolled Buffer writer, escaped strings, stable field order. *)
@@ -436,10 +649,10 @@ let esc b s =
     s;
   Buffer.add_char b '"'
 
-let json_summary r =
+let json_summary ?(stale = []) r =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"flexile-lint-summary\",\n";
-  Buffer.add_string b "  \"version\": 1,\n";
+  Buffer.add_string b "  \"version\": 2,\n";
   Buffer.add_string b
     (Printf.sprintf "  \"files_checked\": %d,\n" r.files_checked);
   Buffer.add_string b
@@ -468,8 +681,37 @@ let json_summary r =
       esc b f.rule;
       Buffer.add_string b ", \"message\": ";
       esc b f.message;
+      (match f.chain with
+      | [] -> ()
+      | chain ->
+          Buffer.add_string b ", \"chain\": [";
+          List.iteri
+            (fun j c ->
+              if j > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b "{\"fn\": ";
+              esc b c.c_fn;
+              Buffer.add_string b ", \"file\": ";
+              esc b c.c_file;
+              Buffer.add_string b (Printf.sprintf ", \"line\": %d}" c.c_line))
+            chain;
+          Buffer.add_string b "]");
       Buffer.add_string b "}")
     r.findings;
   if r.findings <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n  \"stale_suppressions\": [";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b "    {\"kind\": ";
+      esc b s.st_kind;
+      Buffer.add_string b ", \"file\": ";
+      esc b s.st_file;
+      Buffer.add_string b (Printf.sprintf ", \"line\": %d, \"id\": " s.st_line);
+      esc b s.st_id;
+      Buffer.add_string b ", \"detail\": ";
+      esc b s.st_detail;
+      Buffer.add_string b "}")
+    stale;
+  if stale <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "]\n}\n";
   Buffer.contents b

@@ -1,29 +1,48 @@
 (* flexile-lint CLI: walk the given directories (default: lib bin bench
-   test), lint every .ml/.mli, print one diagnostic per finding and
-   optionally a JSON summary, exit non-zero on any unsuppressed hit. *)
+   test), lint every .ml/.mli with the syntactic stage, print one
+   diagnostic per finding and optionally a JSON summary (schema v2),
+   exit non-zero on any unsuppressed hit.
+
+   --deep additionally runs the typedtree stage over the .cmt artifacts
+   dune left under _build/default for every lib/-zone root (so run it
+   after `dune build`); --strict-suppressions turns stale allowlist
+   entries and [@lint.allow] attributes into s1 findings. *)
 
 module Lint_engine = Flexile_lint.Lint_engine
+module Deep_engine = Flexile_lint.Deep_engine
 
-let usage = "flexile-lint [--json FILE] [--quiet] [DIR|FILE]..."
+let usage =
+  "flexile-lint [--deep] [--strict-suppressions] [--json FILE] [--quiet]\n\
+  \             [--deep-root Module.Path]... [DIR|FILE]..."
 
 let has_suffix s suf =
   let ls = String.length s and lu = String.length suf in
   ls >= lu && String.sub s (ls - lu) lu = suf
 
-let rec collect acc path =
+let rec collect ~suffixes acc path =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort compare
     |> List.fold_left
          (fun acc entry ->
            if entry = "_build" || entry = ".git" then acc
-           else collect acc (Filename.concat path entry))
+           else collect ~suffixes acc (Filename.concat path entry))
          acc
-  else if has_suffix path ".ml" || has_suffix path ".mli" then path :: acc
+  else if List.exists (has_suffix path) suffixes then path :: acc
   else acc
+
+(* cmts for root "lib" live under _build/default/lib/**/.<lib>.objs/byte/ *)
+let cmts_for_root root =
+  let dir = Filename.concat "_build/default" root in
+  if Sys.file_exists dir then
+    collect ~suffixes:[ ".cmt" ] [] dir |> List.sort compare
+  else []
 
 let () =
   let json_out = ref None in
   let quiet = ref false in
+  let deep = ref false in
+  let strict = ref false in
+  let deep_roots = ref [] in
   let roots = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -32,6 +51,15 @@ let () =
         parse_args rest
     | "--quiet" :: rest ->
         quiet := true;
+        parse_args rest
+    | "--deep" :: rest ->
+        deep := true;
+        parse_args rest
+    | "--strict-suppressions" :: rest ->
+        strict := true;
+        parse_args rest
+    | "--deep-root" :: m :: rest ->
+        deep_roots := m :: !deep_roots;
         parse_args rest
     | ("--help" | "-h") :: _ ->
         print_endline usage;
@@ -50,25 +78,76 @@ let () =
   List.iter (Printf.eprintf "flexile-lint: no such path: %s\n") missing;
   let files =
     List.filter (fun r -> Sys.file_exists r) roots
-    |> List.fold_left collect []
+    |> List.fold_left (collect ~suffixes:[ ".ml"; ".mli" ]) []
     |> List.sort compare
   in
-  let report =
+  let syntactic =
     Lint_engine.merge (List.map Lint_engine.check_file files)
   in
-  if not !quiet then
+  let deep_report =
+    if not !deep then None
+    else begin
+      (* the deep stage only reasons about lib/ invariants; other zones
+         hold fixtures and drivers whose cmts would add noise *)
+      let lib_roots =
+        List.filter
+          (fun r -> Lint_engine.zone_of_file (r ^ "/x.ml") = Lint_engine.Lib)
+          roots
+      in
+      let cmts = List.concat_map cmts_for_root lib_roots in
+      if cmts = [] then
+        Printf.eprintf
+          "flexile-lint: --deep found no .cmt artifacts under \
+           _build/default (run `dune build` first)\n";
+      let dr =
+        match List.rev !deep_roots with
+        | [] -> Deep_engine.default_roots
+        | rs -> rs
+      in
+      Some (Deep_engine.analyze ~roots:dr cmts)
+    end
+  in
+  let report =
+    match deep_report with
+    | None -> syntactic
+    | Some d -> Lint_engine.merge [ syntactic; d ]
+  in
+  let stale = Lint_engine.stale_suppressions ~deep:!deep report in
+  let report =
+    if !strict then
+      {
+        report with
+        Lint_engine.findings =
+          report.Lint_engine.findings
+          @ List.map Lint_engine.finding_of_stale stale;
+      }
+    else report
+  in
+  if not !quiet then begin
     List.iter
       (fun f -> print_endline (Lint_engine.render_finding f))
       report.Lint_engine.findings;
+    if not !strict then
+      List.iter
+        (fun s ->
+          Printf.printf "warning: %s\n"
+            (Lint_engine.render_finding (Lint_engine.finding_of_stale s)))
+        stale
+  end;
   (match !json_out with
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc (Lint_engine.json_summary report);
+      output_string oc (Lint_engine.json_summary ~stale report);
       close_out oc);
   let n = List.length report.Lint_engine.findings in
   if not !quiet then
-    Printf.printf "flexile-lint: %d file(s), %d finding(s), %d suppressed, %d config-allowed\n"
-      report.Lint_engine.files_checked n report.Lint_engine.suppressed
-      report.Lint_engine.config_suppressed;
+    Printf.printf
+      "flexile-lint: %d file(s)%s, %d finding(s), %d suppressed, \
+       %d config-allowed, %d stale suppression(s)%s\n"
+      report.Lint_engine.files_checked
+      (if !deep then " (deep)" else "")
+      n report.Lint_engine.suppressed report.Lint_engine.config_suppressed
+      (List.length stale)
+      (if stale <> [] && not !strict then " [warning]" else "");
   if n > 0 || missing <> [] then exit 1
