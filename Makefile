@@ -1,4 +1,4 @@
-.PHONY: all build test bench lint lint-deep monitor-smoke explain-smoke verify baseline clean
+.PHONY: all build test bench lint lint-deep monitor-smoke explain-smoke doctor-smoke verify baseline clean
 
 all: build
 
@@ -80,6 +80,26 @@ explain-smoke: | $(SMOKE_DIR)
 	cmp $(SMOKE_DIR)/explain-a-regimes.json $(SMOKE_DIR)/explain-b-regimes.json
 	cmp $(SMOKE_DIR)/explain-b.prom $(SMOKE_DIR)/explain-c.prom
 
+# Solver-health doctor smoke (DESIGN.md section 15): the doctor report
+# over the seeded near-singular fixture must be byte-identical across
+# job counts (the replay is single-domain and carries no wall-clock
+# values), both live — which also exercises the threshold-trip
+# auto-dump — and replayed from that dump via --from-dump.
+doctor-smoke: | $(SMOKE_DIR)
+	dune build bin/flexile_cli.exe
+	FLEXILE_HEALTH_DUMP=$(SMOKE_DIR) dune exec --no-build bin/flexile_cli.exe -- \
+	  doctor --fixture near-singular --jobs 1 --out $(SMOKE_DIR)/doctor-a.json
+	FLEXILE_HEALTH_DUMP=$(SMOKE_DIR) dune exec --no-build bin/flexile_cli.exe -- \
+	  doctor --fixture near-singular --jobs 4 --out $(SMOKE_DIR)/doctor-b.json
+	cmp $(SMOKE_DIR)/doctor-a.json $(SMOKE_DIR)/doctor-b.json
+	dune exec --no-build bin/flexile_cli.exe -- doctor \
+	  --from-dump $(SMOKE_DIR)/health-dump-near-singular-fixture.json \
+	  --jobs 1 --out $(SMOKE_DIR)/doctor-c.json
+	dune exec --no-build bin/flexile_cli.exe -- doctor \
+	  --from-dump $(SMOKE_DIR)/health-dump-near-singular-fixture.json \
+	  --jobs 4 --out $(SMOKE_DIR)/doctor-d.json
+	cmp $(SMOKE_DIR)/doctor-c.json $(SMOKE_DIR)/doctor-d.json
+
 # Relative headroom for the benchmark regression gate.  50% absorbs
 # ordinary same-machine jitter; CI overrides this upward because the
 # committed baseline was recorded on a different machine.
@@ -87,9 +107,10 @@ BENCH_TOLERANCE ?= 50
 
 # Tier-1 verification: full build, both lint stages (syntactic
 # pre-build signal, then the deep typedtree stage over the fresh cmts),
-# the test suite, the monitor and explain determinism smokes, a smoke
-# run of the micro-benchmarks (exercises the parallel sweep at jobs 1
-# and 4), and the regression gate against the committed baseline.
+# the test suite, the monitor/explain/doctor determinism smokes, a
+# smoke run of the micro-benchmarks (exercises the parallel sweep at
+# jobs 1 and 4), and the regression gate against the committed
+# baseline.
 verify:
 	$(MAKE) lint
 	dune build
@@ -97,6 +118,7 @@ verify:
 	dune runtest
 	$(MAKE) monitor-smoke
 	$(MAKE) explain-smoke
+	$(MAKE) doctor-smoke
 	dune exec bench/main.exe -- --micro
 	dune exec bench/main.exe -- --gate --repeat 3 --jobs 2 \
 	  --check BENCH_PR8.json --tolerance $(BENCH_TOLERANCE)

@@ -116,7 +116,7 @@ let gate_phase_order =
   [
     "instance-build"; "offline-solve"; "offline-sweep"; "offline-master";
     "online-alloc"; "explain"; "scenbest-sweep"; "swan-maxmin"; "scenario-mix";
-    "simplex-60x40"; "continental-mlu"; "continental-factor";
+    "simplex-60x40"; "continental-mlu"; "continental-factor"; "doctor";
   ]
 
 (* ---- continental-scale phase ----
@@ -311,6 +311,17 @@ let run_gate ~jobs ~repeat =
            for _ = 1 to 20 do
              ignore (Flexile_lp.Simplex.solve model)
            done));
+    (* solver-health diagnosis end-to-end: both seeded fixtures through
+       solve_doctor (capture timeline + dense-oracle parity) and report
+       rendering — gates the observatory's replay path (schema v3) *)
+    ignore
+      (timed "doctor" (fun () ->
+           List.iter
+             (fun name ->
+               match Flexile_lp.Doctor.run_fixture name with
+               | Ok r -> ignore r.Flexile_lp.Doctor.r_report
+               | Error e -> failwith ("doctor fixture " ^ name ^ ": " ^ e))
+             Flexile_lp.Doctor.fixture_names));
     let mu, seconds, factor_seconds, iterations, eta_updates, refactorizations
         =
       continental_solve ()
@@ -483,6 +494,7 @@ let () =
                ("trace", Flexile_te.Flexile_offline.trace_json ());
                ("histograms", Flexile_obs.Metrics_export.histograms_json ());
                ("sparse_core", sparse_core);
+               ("solver_health", Trace_export.solver_health_json ());
              ]
            measured);
       close_out oc;

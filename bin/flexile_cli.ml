@@ -690,6 +690,160 @@ let explain_cmd =
              regret per class.")
     term
 
+(* ---- doctor ---- *)
+
+(* Replay a solve with elevated instrumentation and emit the numerical
+   diagnosis (DESIGN.md section 15).  Three sources: a seeded
+   pathological fixture (--fixture), a snapshot auto-dumped by a
+   health-threshold trip (--from-dump), or a topology, whose full
+   offline pipeline is replayed with tracing on and summarized through
+   the solver_health projection.  Fixture and dump reports are
+   byte-identical for any --jobs value (the flag is accepted for
+   interface uniformity and forwarded only to the topology replay). *)
+let doctor_cmd =
+  let topo_arg =
+    let doc =
+      "Topology to replay through the offline pipeline (omit when using \
+       --fixture or --from-dump)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TOPOLOGY" ~doc)
+  in
+  let fixture_arg =
+    let doc =
+      "Diagnose a seeded pathological fixture: $(b,near-singular) (an \
+       ill-conditioned optimal basis plus a degenerate chain) or \
+       $(b,degenerate) (the chain alone)."
+    in
+    Arg.(value & opt (some string) None & info [ "fixture" ] ~docv:"NAME" ~doc)
+  in
+  let dump_arg =
+    let doc =
+      "Diagnose a health snapshot written on a threshold trip (see \
+       FLEXILE_HEALTH_DUMP): measures the dumped basis as captured, then \
+       replays the dumped model under the recorded eta limit."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "from-dump" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the diagnosis JSON to $(docv) instead of stdout.")
+  in
+  let no_oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ]
+          ~doc:
+            "Skip the dense-reference parity check (fixture/dump modes \
+             solve the LP a second time with the frozen dense simplex by \
+             default).")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 5
+      & info [ "iterations" ]
+          ~doc:"Offline decomposition iterations (topology mode).")
+  in
+  let run () topo fixture dump two scenarios mix max_pairs iterations jobs out
+      chrome no_oracle =
+    let oracle = not no_oracle in
+    let deliver what contents =
+      match out with
+      | None -> print_string contents
+      | Some path ->
+          Flexile_util.Trace_export.write_file path
+            (* write_file appends the newline *)
+            (String.sub contents 0
+               (let n = String.length contents in
+                if n > 0 && contents.[n - 1] = '\n' then n - 1 else n));
+          Printf.printf "wrote %s to %s\n" what path
+    in
+    let write_chrome () =
+      Option.iter
+        (fun path ->
+          Flexile_util.Trace_export.write_file path
+            (Flexile_util.Trace_export.chrome_json ());
+          Printf.printf "wrote Chrome trace to %s (load in Perfetto)\n" path)
+        chrome
+    in
+    let finish (r : Flexile_lp.Doctor.result) =
+      deliver "diagnosis" r.Flexile_lp.Doctor.r_report;
+      write_chrome ()
+    in
+    (* the per-iteration probe/event timeline only exists while the
+       registry is on; the in-memory capture works either way *)
+    if chrome <> None then Trace.set_enabled true;
+    match (fixture, dump, topo) with
+    | Some name, None, None -> (
+        match Flexile_lp.Doctor.run_fixture ~oracle name with
+        | Error e ->
+            prerr_endline ("doctor: " ^ e);
+            exit 1
+        | Ok r -> finish r)
+    | None, Some path, None -> (
+        match Flexile_lp.Doctor.run_dump ~oracle path with
+        | Error e ->
+            prerr_endline ("doctor: " ^ e);
+            exit 1
+        | Ok r -> finish r)
+    | None, None, Some name ->
+        (* full-pipeline replay: health telemetry accumulates in the
+           registry; the report is its solver_health projection *)
+        Trace.set_enabled true;
+        let inst = build_instance ~two ~scenarios ?mix ~max_pairs name in
+        print_instance inst;
+        let config =
+          {
+            Flexile_te.Flexile_offline.default_config with
+            Flexile_te.Flexile_offline.max_iterations = iterations;
+            jobs;
+          }
+        in
+        let off = Flexile_te.Flexile_offline.solve ~config inst in
+        Printf.printf
+          "offline: %d iterations, %d subproblem solves, %.2fs wall\n"
+          (List.length off.Flexile_te.Flexile_offline.iterates)
+          off.Flexile_te.Flexile_offline.subproblems_solved
+          off.Flexile_te.Flexile_offline.wall_time;
+        let get n = Trace.value_by_name n in
+        Printf.printf
+          "health: %d samples, %d threshold trips, %d stalls, %d dual-guard \
+           trips, %d dumps\n"
+          (get "health.samples")
+          (get "health.threshold_trips")
+          (get "health.stalls")
+          (get "health.dual_guard_trips")
+          (get "health.dumps");
+        let b = Buffer.create 512 in
+        Printf.bprintf b
+          "{\"schema\":\"flexile-doctor\",\"version\":1,\"source\":{\"kind\":\"topology\",\"name\":\"%s\"},\"solver_health\":%s}\n"
+          (String.concat ""
+             (List.map
+                (fun c -> if c = '"' || c = '\\' then "_" else String.make 1 c)
+                (List.init (String.length name) (String.get name))))
+          (Flexile_util.Trace_export.solver_health_json ());
+        deliver "solver health" (Buffer.contents b);
+        write_chrome ()
+    | _ ->
+        prerr_endline
+          "doctor: pass exactly one of --fixture NAME, --from-dump FILE or a \
+           TOPOLOGY";
+        exit 1
+  in
+  let term =
+    Term.(const run $ verbose_term $ topo_arg $ fixture_arg $ dump_arg
+          $ two_class_arg $ scenarios_arg $ mix_arg $ pairs_arg $ iterations
+          $ jobs_arg $ out_arg $ chrome_arg $ no_oracle_arg)
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Diagnose solver numerical health: stalls, ill-conditioning, \
+             residual drift.")
+    term
+
 (* ---- augment ---- *)
 
 let augment_cmd =
@@ -743,5 +897,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; compare_cmd; topo_cmd; scale_cmd; emulate_cmd;
-            monitor_cmd; explain_cmd; augment_cmd;
+            monitor_cmd; explain_cmd; doctor_cmd; augment_cmd;
           ]))

@@ -1,0 +1,717 @@
+(* Numerical health observatory for the sparse revised simplex
+   (DESIGN.md section 15).
+
+   The solver samples this module once per refactorization and once at
+   solution extraction — never per pivot, so the noalloc pivot kernels
+   ([Sparse.Basis.ftran]/[btran]/[update], [Simplex.scatter_alpha])
+   stay untouched.  A sample costs a handful of FTRAN/BTRAN solves plus
+   O(nnz) column scans, which is a vanishing fraction of the
+   factorization it rides on.
+
+   What is measured per sample:
+   - relative primal residual  max_i |(B x_B - b~)_i| / max(1, ||b~||_inf)
+   - relative dual residual    max_j |(B^T y - c_B)_j| / max(1, ||c_B||_inf)
+   - a Hager-style 1-norm condition estimate kappa_1(B) ~ ||B||_1 ||B^-1||_1,
+     where ||B^-1||_1 comes from at most three FTRAN/BTRAN power steps
+     on the gradient of x |-> ||B^-1 x||_1 (Hager 1984; the LAPACK
+     xLACON estimator).  The estimate is a lower bound, exact on the
+     fixtures we assert against, and never costs a dense inverse.
+   - LU element growth, tiny-pivot rows, and the eta-file epoch stats
+     ([Sparse.Basis] accessors) of the factorization just replaced.
+
+   Degeneracy stalls (consecutive zero-step ratio tests) and Bland
+   dwell are reported by the simplex loops through [note_stall] /
+   [note_loop_end]; they cost one integer compare per iteration there.
+
+   Everything flows into [Trace] counters/histograms under the
+   [health.] prefix, and — when a state is created with [capture] — into
+   an in-memory timeline that [Doctor] renders.  When a threshold trips
+   the owner's [on_trip] hook runs, which the solver uses to dump a
+   reproducible LP snapshot ([write_dump] / [read_dump], gated on the
+   FLEXILE_HEALTH_DUMP directory). *)
+
+module Trace = Flexile_util.Trace
+module Float_cmp = Flexile_util.Float_cmp
+module Json = Flexile_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Thresholds                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type thresholds = {
+  cond_limit : float;
+  residual_limit : float;
+  growth_limit : float;
+  stall_limit : int;
+  near_singular_rtol : float;
+}
+
+let getenv_pos_float name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> ( match float_of_string_opt s with
+      | Some v when v > 0. -> v
+      | _ -> default)
+
+let getenv_pos_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> ( match int_of_string_opt s with
+      | Some v when v > 0 -> v
+      | _ -> default)
+
+(* Defaults, with env overrides for tests and incident debugging.
+   Rationale (DESIGN.md section 15): cond_limit 1e10 leaves ~6 digits
+   of the double mantissa trustworthy; residual_limit 1e-6 sits two
+   decades above the solver's 1e-7 feasibility tolerance so a trip
+   means the *factorization* is lying, not the ratio test; growth_limit
+   1e8 is far beyond what threshold-0.01 partial pivoting produces on
+   healthy bases; stall_limit matches the simplex Bland fallback
+   threshold so a "stall" is exactly the event that forced the
+   anti-cycling pivot rule. *)
+let default_thresholds () =
+  {
+    cond_limit = getenv_pos_float "FLEXILE_HEALTH_COND" 1e10;
+    residual_limit = getenv_pos_float "FLEXILE_HEALTH_RESIDUAL" 1e-6;
+    growth_limit = getenv_pos_float "FLEXILE_HEALTH_GROWTH" 1e8;
+    stall_limit = getenv_pos_int "FLEXILE_HEALTH_STALL" 120;
+    near_singular_rtol = getenv_pos_float "FLEXILE_HEALTH_RTOL" 1e-7;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Trace metrics (registered once at module initialization)            *)
+(* ------------------------------------------------------------------ *)
+
+let c_samples = Trace.counter "health.samples"
+let c_trips = Trace.counter "health.threshold_trips"
+let c_stalls = Trace.counter "health.stalls"
+let c_bland = Trace.counter "health.bland_pivots"
+let c_near_singular = Trace.counter "health.near_singular_rows"
+let c_eta_rejections = Trace.counter "health.eta_rejections"
+let c_dumps = Trace.counter "health.dumps"
+let c_dual_guard = Trace.counter "health.dual_guard_trips"
+let h_primal_res = Trace.hist "health.primal_residual"
+let h_dual_res = Trace.hist "health.dual_residual"
+let h_cond = Trace.hist "health.cond1_log10"
+let h_growth = Trace.hist "health.lu_growth"
+let h_eta_growth = Trace.hist "health.eta_growth"
+let h_degen = Trace.hist "health.degen_run"
+let p_sample = Trace.probe "health.sample"
+let p_stall = Trace.probe "health.stall"
+let p_trip = Trace.probe "health.trip"
+
+let note_dual_guard_trip () = Trace.incr c_dual_guard
+
+(* ------------------------------------------------------------------ *)
+(* Samples and state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Refactor | Final
+
+(* Eta-file statistics of the epoch a refactorization just closed,
+   read by the solver *before* [Sparse.Basis.factor] resets them. *)
+type eta_epoch = {
+  ee_len : int;
+  ee_nnz : int;
+  ee_rejections : int;
+  ee_growth : float;
+  ee_min_diag : float;
+}
+
+let empty_epoch =
+  { ee_len = 0; ee_nnz = 0; ee_rejections = 0; ee_growth = 0.; ee_min_diag = infinity }
+
+type sample = {
+  s_kind : kind;
+  s_phase : int;
+  s_iteration : int;
+  s_primal_res : float;
+  s_dual_res : float;
+  s_cond1 : float;
+  s_growth : float;
+  s_udiag_min : float;
+  s_udiag_max : float;
+  s_eta : eta_epoch;
+  s_near_singular : (int * float) list;
+  s_patched : (int * int) list;
+  s_tripped : string list;
+}
+
+type stall = { st_phase : int; st_iteration : int; st_run : int }
+
+type loop_note = {
+  ln_phase : int;
+  ln_iterations : int;
+  ln_max_run : int;
+  ln_bland : int;
+}
+
+type state = {
+  m : int;
+  thresholds : thresholds;
+  mutable capture : bool;
+  hy : float array; (* scratch, length m *)
+  hz : float array; (* scratch, length m *)
+  mutable samples : sample list; (* newest first *)
+  mutable stalls : stall list;
+  mutable loops : loop_note list;
+  mutable on_trip : string list -> unit;
+}
+
+let make ?(capture = false) ?thresholds m =
+  let thresholds =
+    match thresholds with Some t -> t | None -> default_thresholds ()
+  in
+  {
+    m;
+    thresholds;
+    capture;
+    hy = Array.make (max 1 m) 0.;
+    hz = Array.make (max 1 m) 0.;
+    samples = [];
+    stalls = [];
+    loops = [];
+    on_trip = (fun _ -> ());
+  }
+
+let thresholds state = state.thresholds
+let set_capture state b = state.capture <- b
+let capture state = state.capture
+let set_on_trip state f = state.on_trip <- f
+let samples state = List.rev state.samples
+let stalls state = List.rev state.stalls
+let loop_notes state = List.rev state.loops
+
+let clear state =
+  state.samples <- [];
+  state.stalls <- [];
+  state.loops <- []
+
+(* ------------------------------------------------------------------ *)
+(* Production sampling stride                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A full numerical sample costs a dozen basis solves (the residual
+   pair plus two-start Hager); taken at every cold extraction and
+   every refactorization it blows the <=2% overhead budget on
+   solve-heavy workloads (hundreds of small scenario LPs, or one
+   continental-scale LP whose extraction-time eta file is long).  In
+   production (non-capture) mode only every [sample_stride]-th
+   opportunity is measured.  The counter is per-domain, so which
+   solves get measured depends on how the scheduler spread work
+   across domains — production health aggregates are statistical,
+   and Metrics_export excludes the health.* families from its
+   deterministic Prometheus subset accordingly.  The deterministic
+   health story is capture (doctor) mode, which bypasses the stride
+   and samples everything; FLEXILE_HEALTH_STRIDE=1 restores
+   exhaustive sampling in production too. *)
+let sample_stride = getenv_pos_int "FLEXILE_HEALTH_STRIDE" 16
+
+(* per-domain counter with no cross-domain communication: DLS is the
+   sanctioned per-worker-state pattern (lint i2 exempts it) *)
+let stride_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let sample_due state =
+  state.capture
+  ||
+  let c = Domain.DLS.get stride_key in
+  let n = !c in
+  c := n + 1;
+  n mod sample_stride = 0
+
+(* ------------------------------------------------------------------ *)
+(* Estimators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* max_i |(B x_B - b~)_i| / max(1, ||b~||_inf).  [col pos f] enumerates
+   the basis column at [pos]; [btilde] is the row-space right-hand side
+   b - N x_N the solver already maintains. *)
+let primal_residual state ~col ~btilde ~xb =
+  let m = state.m in
+  let r = state.hy in
+  let bnorm = ref 1. in
+  for i = 0 to m - 1 do
+    r.(i) <- -.btilde.(i);
+    let a = Float.abs btilde.(i) in
+    if a > !bnorm then bnorm := a
+  done;
+  for pos = 0 to m - 1 do
+    let x = xb.(pos) in
+    if Float_cmp.nonzero x then
+      col pos (fun row v -> r.(row) <- r.(row) +. (v *. x))
+  done;
+  let worst = ref 0. in
+  for i = 0 to m - 1 do
+    let a = Float.abs r.(i) in
+    if a > !worst then worst := a
+  done;
+  !worst /. !bnorm
+
+(* max_j |(B^T y - c_B)_j| / max(1, ||c_B||_inf) with y = B^-T c_B —
+   how far the duals the pricing loop trusts drift from the basic
+   costs under the current factorization. *)
+let dual_residual state ~basis ~col ~cb =
+  let m = state.m in
+  let y = state.hy in
+  let cmax = ref 1. in
+  for pos = 0 to m - 1 do
+    let c = cb pos in
+    y.(pos) <- c;
+    let a = Float.abs c in
+    if a > !cmax then cmax := a
+  done;
+  Sparse.Basis.btran basis y;
+  let worst = ref 0. in
+  for pos = 0 to m - 1 do
+    let s = ref (-.(cb pos)) in
+    col pos (fun row v -> s := !s +. (v *. y.(row)));
+    let a = Float.abs !s in
+    if a > !worst then worst := a
+  done;
+  !worst /. !cmax
+
+(* Hager's 1-norm estimator: power iteration on the subgradient of
+   x |-> ||B^-1 x||_1, at most three FTRAN/BTRAN pairs per start.  The
+   start vectors and the e_j refinements are known analytically, so no
+   third scratch array is needed: z^T x is the (signed) mean of z
+   (dense starts) or z_j (unit refinement).
+
+   Two starts are probed and the larger estimate kept: the uniform
+   x = e/m, and an alternating (+/-)e/m.  A single uniform start
+   systematically misses near-dependent row pairs — for a basis block
+   [[1,1],[1,1+eps]] the inverse's row sums cancel exactly, so the
+   uniform probe (and its sign vector) never sees the 1/eps direction,
+   while the alternating probe hits it head-on.  This is the classic
+   LINPACK-style sign heuristic grafted onto Hager's iteration. *)
+let hager_pass state ~basis ~alt =
+  let m = state.m in
+  let y = state.hy and z = state.hz in
+  let est = ref 0. in
+  let xj = ref (-1) in
+  (try
+     for _it = 1 to 3 do
+       (if !xj < 0 then begin
+          let h = 1. /. float_of_int m in
+          for i = 0 to m - 1 do
+            y.(i) <- (if alt && i land 1 = 1 then -.h else h)
+          done
+        end
+        else begin
+          Array.fill y 0 m 0.;
+          y.(!xj) <- 1.
+        end);
+       Sparse.Basis.ftran basis y;
+       let y1 = ref 0. in
+       for i = 0 to m - 1 do
+         y1 := !y1 +. Float.abs y.(i)
+       done;
+       est := !y1;
+       for i = 0 to m - 1 do
+         z.(i) <- (if y.(i) >= 0. then 1. else -1.)
+       done;
+       Sparse.Basis.btran basis z;
+       let zmax = ref 0. and jmax = ref 0 in
+       for i = 0 to m - 1 do
+         let a = Float.abs z.(i) in
+         if a > !zmax then begin
+           zmax := a;
+           jmax := i
+         end
+       done;
+       let zx =
+         if !xj >= 0 then z.(!xj)
+         else begin
+           let s = ref 0. in
+           for i = 0 to m - 1 do
+             s := !s +. (if alt && i land 1 = 1 then -.z.(i) else z.(i))
+           done;
+           !s /. float_of_int m
+         end
+       in
+       if !zmax <= zx then raise Exit;
+       xj := !jmax
+     done
+   with Exit -> ());
+  !est
+
+let cond1_estimate state ~basis =
+  if state.m = 0 then 1.
+  else
+    let eu = hager_pass state ~basis ~alt:false in
+    let ea = hager_pass state ~basis ~alt:true in
+    Sparse.Basis.norm1 basis *. Float.max eu ea
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample state ~basis ~kind ~phase ~iteration ~col ~cb ~btilde ~xb ~eta
+    ~patched =
+  Trace.incr c_samples;
+  Trace.event p_sample iteration;
+  let pr = primal_residual state ~col ~btilde ~xb in
+  let dr = dual_residual state ~basis ~col ~cb in
+  let cond = cond1_estimate state ~basis in
+  let growth = Sparse.Basis.lu_growth basis in
+  let t = state.thresholds in
+  let near = Sparse.Basis.near_singular_rows basis ~rtol:t.near_singular_rtol in
+  Trace.observe h_primal_res pr;
+  Trace.observe h_dual_res dr;
+  Trace.observe h_cond (Float.max 0. (Float.log10 cond));
+  Trace.observe h_growth growth;
+  if eta.ee_len > 0 then Trace.observe h_eta_growth eta.ee_growth;
+  if eta.ee_rejections > 0 then Trace.add c_eta_rejections eta.ee_rejections;
+  if near <> [] then Trace.add c_near_singular (List.length near);
+  let tripped =
+    List.filter_map
+      (fun (name, hit) -> if hit then Some name else None)
+      [
+        ("cond", cond > t.cond_limit || Float.is_nan cond);
+        ("primal_residual", pr > t.residual_limit || Float.is_nan pr);
+        ("dual_residual", dr > t.residual_limit || Float.is_nan dr);
+        ("lu_growth", growth > t.growth_limit);
+      ]
+  in
+  if tripped <> [] then begin
+    Trace.incr c_trips;
+    Trace.event p_trip iteration
+  end;
+  if state.capture then
+    state.samples <-
+      {
+        s_kind = kind;
+        s_phase = phase;
+        s_iteration = iteration;
+        s_primal_res = pr;
+        s_dual_res = dr;
+        s_cond1 = cond;
+        s_growth = growth;
+        s_udiag_min = Sparse.Basis.u_diag_min basis;
+        s_udiag_max = Sparse.Basis.u_diag_max basis;
+        s_eta = eta;
+        s_near_singular = near;
+        s_patched = patched;
+        s_tripped = tripped;
+      }
+      :: state.samples;
+  if tripped <> [] then state.on_trip tripped
+
+let note_stall state ~phase ~iteration ~run =
+  Trace.incr c_stalls;
+  Trace.event p_stall iteration;
+  state.stalls <-
+    { st_phase = phase; st_iteration = iteration; st_run = run } :: state.stalls
+
+let note_loop_end state ~phase ~iterations ~max_run ~bland =
+  if max_run > 0 then Trace.observe h_degen (float_of_int max_run);
+  if bland > 0 then Trace.add c_bland bland;
+  if state.capture && iterations > 0 then
+    state.loops <-
+      { ln_phase = phase; ln_iterations = iterations; ln_max_run = max_run;
+        ln_bland = bland }
+      :: state.loops
+
+(* ------------------------------------------------------------------ *)
+(* Reproducible LP dumps                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Floats round-trip through the hexadecimal literal form ("%h", read
+   back by [float_of_string]) so a dump replays the exact bit pattern
+   that tripped the threshold — stored as JSON strings because JSON
+   numbers cannot carry hex literals. *)
+let hex_of_float x =
+  match classify_float x with
+  | FP_nan -> "nan"
+  | FP_infinite -> if x > 0. then "inf" else "-inf"
+  | _ -> Printf.sprintf "%h" x
+
+let float_of_hex s = float_of_string_opt s
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_str b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+let add_hex b x = add_str b (hex_of_float x)
+
+let sense_to_string = function
+  | Lp_model.Le -> "le"
+  | Lp_model.Ge -> "ge"
+  | Lp_model.Eq -> "eq"
+
+let sense_of_string = function
+  | "le" -> Some Lp_model.Le
+  | "ge" -> Some Lp_model.Ge
+  | "eq" -> Some Lp_model.Eq
+  | _ -> None
+
+let model_to_buf b model =
+  Buffer.add_string b "{\"name\":";
+  add_str b (Lp_model.name model);
+  Buffer.add_string b ",\"vars\":[";
+  for j = 0 to Lp_model.nvars model - 1 do
+    if j > 0 then Buffer.add_char b ',';
+    Buffer.add_string b "{\"name\":";
+    add_str b (Lp_model.var_name model j);
+    Buffer.add_string b ",\"lb\":";
+    add_hex b (Lp_model.lb model j);
+    Buffer.add_string b ",\"ub\":";
+    add_hex b (Lp_model.ub model j);
+    Buffer.add_string b ",\"obj\":";
+    add_hex b (Lp_model.obj_coef model j);
+    Buffer.add_char b '}'
+  done;
+  Buffer.add_string b "],\"rows\":[";
+  for i = 0 to Lp_model.nrows model - 1 do
+    if i > 0 then Buffer.add_char b ',';
+    Buffer.add_string b "{\"name\":";
+    add_str b (Lp_model.row_name model i);
+    Buffer.add_string b ",\"sense\":";
+    add_str b (sense_to_string (Lp_model.row_sense model i));
+    Buffer.add_string b ",\"rhs\":";
+    add_hex b (Lp_model.rhs model i);
+    Buffer.add_string b ",\"coeffs\":[";
+    List.iteri
+      (fun k (j, v) ->
+        if k > 0 then Buffer.add_char b ',';
+        Buffer.add_string b "[";
+        Buffer.add_string b (string_of_int j);
+        Buffer.add_char b ',';
+        add_hex b v;
+        Buffer.add_char b ']')
+      (Lp_model.row_coeffs model i);
+    Buffer.add_string b "]}"
+  done;
+  Buffer.add_string b "]}"
+
+let model_to_json_string model =
+  let b = Buffer.create 1024 in
+  model_to_buf b model;
+  Buffer.contents b
+
+let ( let* ) o f = match o with Some v -> f v | None -> None
+
+let json_hex j = let* s = Json.to_string j in float_of_hex s
+
+let model_of_json j =
+  let fail msg = Error ("health dump: bad model: " ^ msg) in
+  match
+    let* name = let* n = Json.member "name" j in Json.to_string n in
+    let* vars = let* v = Json.member "vars" j in Json.to_list v in
+    let* rows = let* r = Json.member "rows" j in Json.to_list r in
+    let model = Lp_model.create ~name () in
+    let* () =
+      List.fold_left
+        (fun acc v ->
+          let* () = acc in
+          let* name = let* n = Json.member "name" v in Json.to_string n in
+          let* lb = let* x = Json.member "lb" v in json_hex x in
+          let* ub = let* x = Json.member "ub" v in json_hex x in
+          let* obj = let* x = Json.member "obj" v in json_hex x in
+          let (_ : int) = Lp_model.add_var model ~name ~lb ~ub ~obj () in
+          Some ())
+        (Some ()) vars
+    in
+    let* () =
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          let* name = let* n = Json.member "name" r in Json.to_string n in
+          let* sense =
+            let* s = Json.member "sense" r in
+            let* s = Json.to_string s in
+            sense_of_string s
+          in
+          let* rhs = let* x = Json.member "rhs" r in json_hex x in
+          let* coeffs = let* c = Json.member "coeffs" r in Json.to_list c in
+          let* coeffs =
+            List.fold_left
+              (fun acc c ->
+                let* acc = acc in
+                match Json.to_list c with
+                | Some [ jv; xv ] ->
+                    let* j = Json.to_int jv in
+                    let* x = json_hex xv in
+                    Some ((j, x) :: acc)
+                | _ -> None)
+              (Some []) coeffs
+          in
+          let (_ : int) =
+            Lp_model.add_row model ~name sense rhs (List.rev coeffs)
+          in
+          Some ())
+        (Some ()) rows
+    in
+    Some model
+  with
+  | Some model -> Ok model
+  | None -> fail "missing or ill-typed field"
+  | exception Invalid_argument msg -> fail msg
+
+let dump_schema = "flexile-health-dump"
+let dump_version = 1
+
+let dump_dir () =
+  match Sys.getenv_opt "FLEXILE_HEALTH_DUMP" with
+  | Some d when String.length d > 0 -> Some d
+  | _ -> None
+
+let sanitize_name s =
+  let b = Bytes.of_string (if s = "" then "lp" else s) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ()
+      | _ -> Bytes.set b i '-')
+    b;
+  Bytes.to_string b
+
+let dump_path ~dir ~model =
+  Filename.concat dir
+    ("health-dump-" ^ sanitize_name (Lp_model.name model) ^ ".json")
+
+type dump = {
+  d_reasons : string list;
+  d_phase : int;
+  d_iteration : int;
+  d_eta_limit : int option;
+  d_model : Lp_model.t;
+  d_basis : int array;
+  d_vstat : int array;
+}
+
+let dump_to_string d =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":";
+  add_str b dump_schema;
+  Buffer.add_string b (",\"version\":" ^ string_of_int dump_version);
+  Buffer.add_string b ",\"reasons\":[";
+  List.iteri
+    (fun k r ->
+      if k > 0 then Buffer.add_char b ',';
+      add_str b r)
+    d.d_reasons;
+  Buffer.add_string b ("],\"phase\":" ^ string_of_int d.d_phase);
+  Buffer.add_string b (",\"iteration\":" ^ string_of_int d.d_iteration);
+  Buffer.add_string b ",\"eta_limit\":";
+  (match d.d_eta_limit with
+  | None -> Buffer.add_string b "null"
+  | Some l -> Buffer.add_string b (string_of_int l));
+  Buffer.add_string b ",\"model\":";
+  model_to_buf b d.d_model;
+  let ints name a =
+    Buffer.add_string b (",\"" ^ name ^ "\":[");
+    Array.iteri
+      (fun k v ->
+        if k > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int v))
+      a;
+    Buffer.add_char b ']'
+  in
+  ints "basis" d.d_basis;
+  ints "vstat" d.d_vstat;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* Writes (or deterministically overwrites) the snapshot for [d]'s
+   model in the FLEXILE_HEALTH_DUMP directory.  No-op returning [None]
+   when the variable is unset — sampling must never create files unless
+   explicitly pointed at a scratch directory. *)
+let write_dump d =
+  match dump_dir () with
+  | None -> None
+  | Some dir ->
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+       with Sys_error _ -> ());
+      let path = dump_path ~dir ~model:d.d_model in
+      let oc = open_out path in
+      output_string oc (dump_to_string d);
+      close_out oc;
+      Trace.incr c_dumps;
+      Some path
+
+let read_dump path =
+  match Json.parse_file path with
+  | Error e -> Error ("health dump: " ^ e)
+  | Ok j -> (
+      match
+        let* schema =
+          let* s = Json.member "schema" j in
+          Json.to_string s
+        in
+        if schema <> dump_schema then None
+        else
+          let* version =
+            let* v = Json.member "version" j in
+            Json.to_int v
+          in
+          if version > dump_version then None
+          else
+            let* reasons =
+              let* r = Json.member "reasons" j in
+              let* l = Json.to_list r in
+              List.fold_left
+                (fun acc r ->
+                  let* acc = acc in
+                  let* s = Json.to_string r in
+                  Some (s :: acc))
+                (Some []) l
+            in
+            let* phase = let* p = Json.member "phase" j in Json.to_int p in
+            let* iteration =
+              let* i = Json.member "iteration" j in
+              Json.to_int i
+            in
+            let eta_limit =
+              match Json.member "eta_limit" j with
+              | Some (Json.Number _ as n) -> Json.to_int n
+              | _ -> None
+            in
+            let* model_j = Json.member "model" j in
+            let* model =
+              match model_of_json model_j with
+              | Ok m -> Some m
+              | Error _ -> None
+            in
+            let ints name =
+              let* a = Json.member name j in
+              let* l = Json.to_list a in
+              let* l =
+                List.fold_left
+                  (fun acc v ->
+                    let* acc = acc in
+                    let* i = Json.to_int v in
+                    Some (i :: acc))
+                  (Some []) l
+              in
+              Some (Array.of_list (List.rev l))
+            in
+            let* basis = ints "basis" in
+            let* vstat = ints "vstat" in
+            Some
+              {
+                d_reasons = List.rev reasons;
+                d_phase = phase;
+                d_iteration = iteration;
+                d_eta_limit = eta_limit;
+                d_model = model;
+                d_basis = basis;
+                d_vstat = vstat;
+              }
+      with
+      | Some d -> Ok d
+      | None -> Error "health dump: missing field or schema mismatch"
+      | exception Invalid_argument msg -> Error ("health dump: " ^ msg))

@@ -1,0 +1,184 @@
+(** Numerical health observatory for the sparse revised simplex.
+
+    The solver feeds this module once per refactorization and once at
+    solution extraction — never per pivot, so the noalloc pivot kernels
+    stay untouched.  Each sample measures the relative primal/dual
+    residuals of the current factorization, a Hager-style 1-norm
+    condition estimate, LU element growth, near-singular pivot rows and
+    the eta-file epoch statistics; the simplex loops additionally
+    report degeneracy stalls and Bland-fallback dwell.  Everything
+    flows into [Trace] metrics under the [health.] prefix; states
+    created with [capture] also keep an in-memory timeline for
+    [Doctor].  See DESIGN.md section 15. *)
+
+(** {1 Thresholds} *)
+
+type thresholds = {
+  cond_limit : float;  (** condition estimate above this trips *)
+  residual_limit : float;  (** relative primal/dual residual limit *)
+  growth_limit : float;  (** LU element growth limit *)
+  stall_limit : int;  (** consecutive zero-step pivots before a stall *)
+  near_singular_rtol : float;  (** [Sparse.Basis.near_singular_rows] rtol *)
+}
+
+val default_thresholds : unit -> thresholds
+(** Defaults (1e10, 1e-6, 1e8, 120, 1e-7), overridable via the
+    [FLEXILE_HEALTH_COND] / [_RESIDUAL] / [_GROWTH] / [_STALL] /
+    [_RTOL] environment variables.  See DESIGN.md section 15 for the
+    rationale behind each default. *)
+
+(** {1 Samples} *)
+
+type kind = Refactor | Final
+
+type eta_epoch = {
+  ee_len : int;  (** etas accumulated when the epoch closed *)
+  ee_nnz : int;
+  ee_rejections : int;  (** updates refused for a tiny pivot *)
+  ee_growth : float;  (** max pivot growth over the epoch's etas *)
+  ee_min_diag : float;  (** smallest accepted eta pivot; [infinity] if none *)
+}
+
+val empty_epoch : eta_epoch
+
+type sample = {
+  s_kind : kind;
+  s_phase : int;  (** 0 setup, 1 phase-1, 2 phase-2, 3 dual *)
+  s_iteration : int;
+  s_primal_res : float;  (** relative [||B x_B - b~||_inf] *)
+  s_dual_res : float;  (** relative [||B^T y - c_B||_inf] *)
+  s_cond1 : float;  (** Hager estimate of [kappa_1(B)] *)
+  s_growth : float;  (** LU element growth [max|U|/max|B|] *)
+  s_udiag_min : float;
+  s_udiag_max : float;
+  s_eta : eta_epoch;  (** stats of the epoch this sample closed *)
+  s_near_singular : (int * float) list;  (** [(row, |u_diag|)], ascending *)
+  s_patched : (int * int) list;  (** singular positions patched by factor *)
+  s_tripped : string list;  (** threshold names exceeded, fixed order *)
+}
+
+type stall = { st_phase : int; st_iteration : int; st_run : int }
+
+type loop_note = {
+  ln_phase : int;
+  ln_iterations : int;
+  ln_max_run : int;  (** longest consecutive zero-step run *)
+  ln_bland : int;  (** iterations spent under the Bland fallback *)
+}
+
+(** {1 State} *)
+
+type state
+(** Per-solver-instance health state: scratch vectors, thresholds, and
+    the captured timeline.  Not shared across domains — each solver
+    template owns one. *)
+
+val make : ?capture:bool -> ?thresholds:thresholds -> int -> state
+(** [make m] allocates scratch for an [m]-row basis.  [capture]
+    (default false) records the sample/stall/loop timeline in memory —
+    the elevated-instrumentation mode [flexile doctor] runs under. *)
+
+val thresholds : state -> thresholds
+val capture : state -> bool
+val set_capture : state -> bool -> unit
+
+val set_on_trip : state -> (string list -> unit) -> unit
+(** Hook invoked (with the tripped threshold names) whenever a sample
+    exceeds a threshold; the solver installs the snapshot dumper here. *)
+
+val samples : state -> sample list
+(** Captured samples, oldest first.  Empty unless [capture]. *)
+
+val stalls : state -> stall list
+val loop_notes : state -> loop_note list
+
+val clear : state -> unit
+(** Drops the captured timeline (thresholds and scratch stay). *)
+
+(** {1 Sampling entry points (called by the solver)} *)
+
+val sample_due : state -> bool
+(** Sampling-policy gate the solver consults at each opportunity
+    (refactorization or extraction).  Always true in capture (doctor)
+    mode; in production, true once every [FLEXILE_HEALTH_STRIDE]
+    (default 16) opportunities per domain — a full sample costs a
+    dozen basis solves, and the stride is what keeps the observatory
+    inside its 2% overhead budget (DESIGN.md section 15).  The
+    per-domain counter makes the sampled subset schedule-dependent,
+    which is why the health.* families sit outside the deterministic
+    Prometheus subset.  Calling it advances the stride counter. *)
+
+val sample :
+  state ->
+  basis:Sparse.Basis.t ->
+  kind:kind ->
+  phase:int ->
+  iteration:int ->
+  col:(int -> (int -> float -> unit) -> unit) ->
+  cb:(int -> float) ->
+  btilde:float array ->
+  xb:float array ->
+  eta:eta_epoch ->
+  patched:(int * int) list ->
+  unit
+(** Measure the factorized basis: [col pos f] enumerates the basis
+    column at [pos]; [cb pos] is the cost of the basic variable there;
+    [btilde] is the row-space right-hand side [b - N x_N]; [xb] the
+    basic values; [eta] the epoch statistics read before the
+    factorization reset them.  Costs a handful of FTRAN/BTRAN solves
+    plus O(nnz) scans; must be called at most once per refactorization
+    or extraction. *)
+
+val note_stall : state -> phase:int -> iteration:int -> run:int -> unit
+(** The solver detected [run] consecutive zero-step ratio tests. *)
+
+val note_loop_end :
+  state -> phase:int -> iterations:int -> max_run:int -> bland:int -> unit
+(** End-of-loop summary: longest zero-step run and Bland dwell. *)
+
+val note_dual_guard_trip : unit -> unit
+(** A warm-started dual solve failed the a-posteriori dual-feasibility
+    guard and fell back to a cold solve. *)
+
+(** {1 Reproducible LP dumps}
+
+    When a threshold trips and the [FLEXILE_HEALTH_DUMP] environment
+    variable names a directory, the solver writes a self-contained
+    snapshot (model, basis, variable statuses, trip metadata) there.
+    Floats round-trip through hexadecimal literals, so a replay sees
+    the exact bit patterns.  File name is deterministic per model
+    ([health-dump-<name>.json]), so repeated trips overwrite rather
+    than accumulate. *)
+
+type dump = {
+  d_reasons : string list;
+  d_phase : int;
+  d_iteration : int;
+  d_eta_limit : int option;
+  d_model : Lp_model.t;
+  d_basis : int array;  (** basic variable per position *)
+  d_vstat : int array;  (** per-variable status codes *)
+}
+
+val dump_dir : unit -> string option
+(** The [FLEXILE_HEALTH_DUMP] directory, if set and nonempty. *)
+
+val dump_path : dir:string -> model:Lp_model.t -> string
+(** The deterministic snapshot path for [model] under [dir]. *)
+
+val write_dump : dump -> string option
+(** Write (or overwrite) the snapshot; [None] when dumping is not
+    enabled.  Creates the directory if missing. *)
+
+val read_dump : string -> (dump, string) result
+
+val dump_to_string : dump -> string
+(** The serialized form [write_dump] writes, for tests. *)
+
+val model_to_json_string : Lp_model.t -> string
+
+val hex_of_float : float -> string
+(** ["%h"] hexadecimal literal; ["inf"]/["-inf"]/["nan"] for the
+    non-finite values.  [float_of_hex] inverts it exactly. *)
+
+val float_of_hex : string -> float option

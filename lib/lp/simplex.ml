@@ -49,6 +49,14 @@ let c_eta_updates = Trace.counter "simplex.eta_updates"
 let c_basis_repairs = Trace.counter "simplex.basis_repairs"
 let h_eta_at_refactor = Trace.hist "simplex.eta_len_at_refactor"
 
+(* Phase tags reported to the health observatory (Health.sample.s_phase
+   and the stall notes).  Integers, not a variant, because they cross
+   the Health interface and land in JSON reports. *)
+let phase_setup = 0
+let phase_primal1 = 1
+let phase_primal2 = 2
+let phase_dual = 3
+
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
 type solution = {
@@ -76,6 +84,7 @@ type sp = {
   n : int;
   m : int;
   ntot : int;
+  model : Lp_model.t; (* kept for health snapshots, never re-read *)
   csc : Lp_model.csc;
   lo : float array;
   up : float array;
@@ -106,6 +115,10 @@ type sp = {
   sec_size : int; (* partial-pricing section length *)
   nsec : int;
   mutable psec : int; (* cyclic pricing cursor *)
+  (* numerical health observatory (DESIGN.md section 15) *)
+  health : Health.state;
+  mutable hphase : int; (* phase_setup/_primal1/_primal2/_dual *)
+  mutable hiter : int; (* iteration count at the last loop step *)
 }
 
 let slack_bounds sense =
@@ -119,7 +132,7 @@ let eta_limit_env () =
   | Some s -> int_of_string_opt s
   | None -> None
 
-let make_sp model =
+let make_sp ?eta_limit ?thresholds model =
   let n = Lp_model.nvars model and m = Lp_model.nrows model in
   let ntot = n + (2 * m) in
   let lo = Array.make ntot 0. and up = Array.make ntot 0. in
@@ -163,10 +176,14 @@ let make_sp model =
       fill.(i) <- fill.(i) + 1
     done
   done;
+  let eta_limit =
+    match eta_limit with Some _ as l -> l | None -> eta_limit_env ()
+  in
   {
     n;
     m;
     ntot;
+    model;
     csc = Lp_model.csc model;
     lo;
     up;
@@ -174,7 +191,7 @@ let make_sp model =
     b;
     vstat = Array.make ntot at_lower;
     bas = Array.make m 0;
-    basis = Basis.create ?eta_limit:(eta_limit_env ()) m;
+    basis = Basis.create ?eta_limit m;
     xb = Array.make m 0.;
     xn = Array.make ntot 0.;
     last_status = None;
@@ -192,7 +209,35 @@ let make_sp model =
     sec_size;
     nsec;
     psec = 0;
+    health = Health.make ?thresholds m;
+    hphase = phase_setup;
+    hiter = 0;
   }
+
+(* Threshold trip -> reproducible snapshot (model + basis + variable
+   statuses + trip metadata), so the failing LP can be replayed by
+   [flexile doctor --from-dump].  Gated on FLEXILE_HEALTH_DUMP inside
+   [Health.write_dump]; the copies happen only on a trip. *)
+let dump_on_trip st reasons =
+  match Health.dump_dir () with
+  | None -> ()
+  | Some _ ->
+      ignore
+        (Health.write_dump
+           {
+             Health.d_reasons = reasons;
+             d_phase = st.hphase;
+             d_iteration = st.hiter;
+             d_eta_limit = eta_limit_env ();
+             d_model = st.model;
+             d_basis = Array.copy st.bas;
+             d_vstat = Array.copy st.vstat;
+           })
+
+let make_sp ?eta_limit ?thresholds model =
+  let st = make_sp ?eta_limit ?thresholds model in
+  Health.set_on_trip st.health (dump_on_trip st);
+  st
 
 (* Iterate over the (row, coefficient) entries of column [j]. *)
 let col_iter st j f =
@@ -257,6 +302,42 @@ let recompute_xb st =
   Basis.ftran st.basis st.bt;
   Array.blit st.bt 0 st.xb 0 st.m
 
+(* ------------------------------------------------------------------ *)
+(* Health sampling (DESIGN.md section 15): per-refactorization plus    *)
+(* one sample at extraction, so the pivot loops stay noalloc and the   *)
+(* answer basis is always measured even when no refactorization fired  *)
+(* mid-solve (small LPs rarely exhaust the eta limit).                 *)
+(* ------------------------------------------------------------------ *)
+
+let health_active st = Trace.enabled () || Health.capture st.health
+
+(* Eta-file epoch stats, read *before* [Basis.factor] resets them. *)
+let eta_epoch_of st =
+  let b = st.basis in
+  {
+    Health.ee_len = Basis.eta_count b;
+    ee_nnz = Basis.eta_nnz b;
+    ee_rejections = Basis.eta_rejections b;
+    ee_growth = Basis.eta_growth b;
+    ee_min_diag = Basis.eta_min_diag b;
+  }
+
+let health_sample st ~kind ~eta ~patched =
+  if Health.sample_due st.health then begin
+  (* row-space b~ = b - N x_N into the scratch [bt] (recompute_xb uses
+     the same accumulation but immediately FTRANs it away) *)
+  Array.blit st.b 0 st.bt 0 st.m;
+  for j = 0 to st.ntot - 1 do
+    if st.vstat.(j) <> basic && Float_cmp.nonzero st.xn.(j) then
+      col_iter st j (fun i a -> st.bt.(i) <- st.bt.(i) -. (a *. st.xn.(j)))
+  done;
+  Health.sample st.health ~basis:st.basis ~kind ~phase:st.hphase
+    ~iteration:st.hiter
+    ~col:(fun pos f -> col_iter st st.bas.(pos) f)
+    ~cb:(fun pos -> st.cost.(st.bas.(pos)))
+    ~btilde:st.bt ~xb:st.xb ~eta ~patched
+  end
+
 (* Rebuild the LU factorization of the recorded basis.  A singular or
    numerically dependent basis is not an error: [Basis.factor] patches
    the dependent positions with slack unit columns and we repair the
@@ -265,6 +346,8 @@ let recompute_xb st =
 let refactorize st =
   Trace.incr c_refactorizations;
   Trace.observe h_eta_at_refactor (float_of_int (Basis.eta_count st.basis));
+  let active = health_active st in
+  let eta = if active then eta_epoch_of st else Health.empty_epoch in
   let patched =
     Trace.with_span t_factor @@ fun () ->
     Basis.factor st.basis ~col:(fun pos f -> col_iter st st.bas.(pos) f)
@@ -292,6 +375,7 @@ let refactorize st =
     patched;
   recompute_xb st;
   if patched <> [] then st.d_valid <- false;
+  if active then health_sample st ~kind:Health.Refactor ~eta ~patched;
   patched <> []
 
 (* Append the pivot (entering column image [w], leaving position [r])
@@ -329,16 +413,23 @@ let primal_loop st costs ~iter_limit iter_count =
   st.d_valid <- false;
   recompute_d ();
   let degen = ref 0 in
+  (* stall detection: longest run of zero-step ratio tests and the
+     Bland dwell, one integer compare per iteration (DESIGN.md s15) *)
+  let stall_lim = (Health.thresholds st.health).Health.stall_limit in
+  let iters0 = !iter_count in
+  let max_run = ref 0 and bland_iters = ref 0 in
   let result = ref None in
   while !result = None do
     if !iter_count >= iter_limit then result := Some P_iter_limit
     else begin
       incr iter_count;
+      st.hiter <- !iter_count;
       if !iter_count mod 4096 = 0 then begin
         recompute_xb st;
         recompute_d ()
       end;
       let bland = !degen > degen_threshold in
+      if bland then incr bland_iters;
       (* --- pricing: choose entering variable --- *)
       let enter = ref (-1) and enter_dir = ref 1. and best = ref 0. in
       let consider j dj =
@@ -478,7 +569,14 @@ let primal_loop st costs ~iter_limit iter_count =
         else if !leave = -1 then result := Some P_unbounded
         else begin
           let r = !leave and t = !tmax in
-          if t <= 1e-10 then incr degen else degen := 0;
+          if t <= 1e-10 then begin
+            incr degen;
+            if !degen > !max_run then max_run := !degen;
+            if !degen = stall_lim then
+              Health.note_stall st.health ~phase:st.hphase
+                ~iteration:!iter_count ~run:!degen
+          end
+          else degen := 0;
           let entering_value = st.xn.(j) +. (s *. t) in
           for i = 0 to m - 1 do
             if i <> r then st.xb.(i) <- st.xb.(i) -. (s *. w.(i) *. t)
@@ -525,6 +623,8 @@ let primal_loop st costs ~iter_limit iter_count =
   (match !result with
   | Some P_optimal when costs == st.cost -> st.d_valid <- true
   | _ -> ());
+  Health.note_loop_end st.health ~phase:st.hphase
+    ~iterations:(!iter_count - iters0) ~max_run:!max_run ~bland:!bland_iters;
   match !result with Some r -> r | None -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -532,6 +632,8 @@ let primal_loop st costs ~iter_limit iter_count =
 (* ------------------------------------------------------------------ *)
 
 let setup_cold st =
+  st.hphase <- phase_setup;
+  st.hiter <- 0;
   let n = st.n and m = st.m in
   (* structural nonbasic at the bound closest to zero *)
   for j = 0 to n - 1 do
@@ -653,6 +755,16 @@ let extract_solution st ~status ~iterations =
     iterations;
   }
 
+(* Extraction with a final health sample: small LPs rarely exhaust the
+   eta limit mid-solve, so without this the observatory would only ever
+   see the trivial slack basis of [setup_cold].  The *answer* basis is
+   the one whose residuals and conditioning decide whether the solution
+   can be trusted. *)
+let finish_solve st ~status ~iterations =
+  if health_active st then
+    health_sample st ~kind:Health.Final ~eta:(eta_epoch_of st) ~patched:[];
+  extract_solution st ~status ~iterations
+
 let default_iter_limit st = 50_000 + (50 * (st.n + st.m))
 
 let cold_solve ?iter_limit st =
@@ -666,6 +778,7 @@ let cold_solve ?iter_limit st =
     match setup_phase1 st with
     | None -> false
     | Some p1costs -> (
+        st.hphase <- phase_primal1;
         match primal_loop st p1costs ~iter_limit iters with
         | P_unbounded ->
             (* phase-1 objective is bounded below by 0; treat as numeric
@@ -679,11 +792,12 @@ let cold_solve ?iter_limit st =
     let status =
       if !iters >= iter_limit then Iteration_limit else Infeasible
     in
-    extract_solution st ~status ~iterations:!iters
+    finish_solve st ~status ~iterations:!iters
   end
   else begin
     close_phase1 st;
     recompute_xb st;
+    st.hphase <- phase_primal2;
     match primal_loop st st.cost ~iter_limit iters with
     | P_optimal ->
         (* polish: guard against drift of the updated factors *)
@@ -700,10 +814,10 @@ let cold_solve ?iter_limit st =
           ignore (refactorize st);
           ignore (primal_loop st st.cost ~iter_limit iters)
         end;
-        extract_solution st ~status:Optimal ~iterations:!iters
-    | P_unbounded -> extract_solution st ~status:Unbounded ~iterations:!iters
+        finish_solve st ~status:Optimal ~iterations:!iters
+    | P_unbounded -> finish_solve st ~status:Unbounded ~iterations:!iters
     | P_iter_limit ->
-        extract_solution st ~status:Iteration_limit ~iterations:!iters
+        finish_solve st ~status:Iteration_limit ~iterations:!iters
   end
 
 (* ------------------------------------------------------------------ *)
@@ -727,11 +841,15 @@ let dual_loop st ~iter_limit iters =
      costs; rebuild only when the basis has moved under us *)
   if not st.d_valid then recompute_duals ();
   let zero_steps = ref 0 in
+  let stall_lim = (Health.thresholds st.health).Health.stall_limit in
+  let iters0 = !iters in
+  let max_run = ref 0 and bland_iters = ref 0 in
   let result = ref None in
   while !result = None do
     if !iters >= iter_limit then result := Some D_iter_limit
     else begin
       incr iters;
+      st.hiter <- !iters;
       if !iters mod 4096 = 0 then begin
         recompute_xb st;
         recompute_duals ()
@@ -762,6 +880,7 @@ let dual_loop st ~iter_limit iters =
            test and the dual update below visit just the pattern *)
         scatter_alpha st rho;
         let bland = !zero_steps > degen_threshold in
+        if bland then incr bland_iters;
         (* --- entering: dual ratio test --- *)
         let enter = ref (-1) and best_ratio = ref infinity and best_alpha = ref 0. in
         Sparse.Svec.iter st.asv (fun j alpha ->
@@ -801,7 +920,14 @@ let dual_loop st ~iter_limit iters =
         if !enter = -1 then result := Some D_infeasible
         else begin
           let j = !enter in
-          if !best_ratio <= 1e-10 then incr zero_steps else zero_steps := 0;
+          if !best_ratio <= 1e-10 then begin
+            incr zero_steps;
+            if !zero_steps > !max_run then max_run := !zero_steps;
+            if !zero_steps = stall_lim then
+              Health.note_stall st.health ~phase:st.hphase ~iteration:!iters
+                ~run:!zero_steps
+          end
+          else zero_steps := 0;
           let alpha_j = !best_alpha in
           let q = st.bas.(r) in
           let target = if !above then st.up.(q) else st.lo.(q) in
@@ -834,6 +960,8 @@ let dual_loop st ~iter_limit iters =
       end
     end
   done;
+  Health.note_loop_end st.health ~phase:st.hphase
+    ~iterations:(!iters - iters0) ~max_run:!max_run ~bland:!bland_iters;
   match !result with Some r -> r | None -> assert false
 
 (* A posteriori optimality check for the dual simplex: the final basis
@@ -865,15 +993,22 @@ let resolve_rhs_sp ?iter_limit st rhs =
   | Some Optimal -> (
       Trace.incr c_warm_attempts;
       recompute_xb st;
+      st.hphase <- phase_dual;
       let iters = ref 0 in
       match dual_loop st ~iter_limit iters with
       | D_optimal ->
           if dual_feasible st then begin
             Trace.incr c_warm_hits;
+            (* elevated instrumentation only: sampling every warm
+               resolve would tax the sweep hot path for little signal *)
+            if Health.capture st.health then
+              health_sample st ~kind:Health.Final ~eta:(eta_epoch_of st)
+                ~patched:[];
             extract_solution st ~status:Optimal ~iterations:!iters
           end
           else begin
             Trace.incr c_warm_fallbacks;
+            Health.note_dual_guard_trip ();
             Log.debug (fun m ->
                 m "dual simplex drifted out of dual feasibility; cold re-solve");
             cold ()
@@ -994,6 +1129,39 @@ let extend t model =
   match t with
   | Sp st -> Sp (extend_sp st model)
   | Dn d -> Dn (Simplex_dense.extend d model)
+
+let health = function Sp st -> Some st.health | Dn _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Elevated-instrumentation entry points for [Doctor].                 *)
+(* ------------------------------------------------------------------ *)
+
+let solve_doctor ?iter_limit ?eta_limit ?thresholds model =
+  let st = make_sp ?eta_limit ?thresholds model in
+  Health.set_capture st.health true;
+  let sol = cold_solve ?iter_limit st in
+  (sol, st.health)
+
+let diagnose_basis ?eta_limit ?thresholds ?(phase = 0) ?(iteration = 0) model
+    ~bas ~vstat =
+  let st = make_sp ?eta_limit ?thresholds model in
+  if Array.length bas <> st.m || Array.length vstat <> st.ntot then
+    invalid_arg "Simplex.diagnose_basis: dimension mismatch";
+  Health.set_capture st.health true;
+  Array.blit bas 0 st.bas 0 st.m;
+  Array.blit vstat 0 st.vstat 0 st.ntot;
+  for j = 0 to st.ntot - 1 do
+    let s = st.vstat.(j) in
+    if s = at_lower then
+      st.xn.(j) <- (if st.lo.(j) > neg_infinity then st.lo.(j) else 0.)
+    else if s = at_upper then
+      st.xn.(j) <- (if st.up.(j) < infinity then st.up.(j) else 0.)
+    else if s = free then st.xn.(j) <- 0.
+  done;
+  st.hphase <- phase;
+  st.hiter <- iteration;
+  ignore (refactorize st);
+  st.health
 
 let solve ?iter_limit model =
   Trace.in_span sp_solve @@ fun () ->

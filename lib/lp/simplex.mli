@@ -1,11 +1,18 @@
 (** Two-phase bounded-variable revised primal simplex, with a dual
     simplex for warm restarts after right-hand-side changes.
 
-    The implementation keeps an explicit dense basis inverse, so it is
-    intended for the small/medium LPs of this repository (up to a few
-    thousand rows).  It produces dual certificates: row duals, reduced
-    costs, and a parametric lower bound usable as a Benders cut when
-    only the RHS varies (the reformulation (17)–(18) of the paper). *)
+    The basis is held LU-factorized ([Sparse.Basis]) and advanced by
+    product-form eta updates; the frozen dense-inverse solver survives
+    as [Simplex_dense] for differential testing.  It produces dual
+    certificates: row duals, reduced costs, and a parametric lower
+    bound usable as a Benders cut when only the RHS varies (the
+    reformulation (17)–(18) of the paper).
+
+    Numerical health: every refactorization and every extraction feeds
+    the [Health] observatory (residuals, condition estimate, stall
+    detection — DESIGN.md section 15); [solve_doctor] and
+    [diagnose_basis] run the same machinery with the in-memory timeline
+    captured for [flexile doctor]. *)
 
 type status = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -64,3 +71,38 @@ val extend : t -> Lp_model.t -> t
     next [solve_warm]/[resolve_rhs] continues with the dual simplex
     instead of solving from scratch (the classic cutting-plane warm
     start). *)
+
+(** {1 Health observatory}
+
+    Phase tags in health samples and stall notes: 0 setup, 1 phase-1
+    primal, 2 phase-2 primal, 3 dual (warm restart). *)
+
+val health : t -> Health.state option
+(** The solver's health state; [None] on the dense fallback path. *)
+
+val solve_doctor :
+  ?iter_limit:int ->
+  ?eta_limit:int ->
+  ?thresholds:Health.thresholds ->
+  Lp_model.t ->
+  solution * Health.state
+(** Cold-solve [model] with the health timeline captured in memory
+    (every refactorization, stall and loop sampled) — the elevated
+    instrumentation [flexile doctor] replays under.  [eta_limit]
+    overrides the FLEXILE_ETA_LIMIT/default eta-file cap, letting a
+    dump replay reproduce the original refactorization cadence. *)
+
+val diagnose_basis :
+  ?eta_limit:int ->
+  ?thresholds:Health.thresholds ->
+  ?phase:int ->
+  ?iteration:int ->
+  Lp_model.t ->
+  bas:int array ->
+  vstat:int array ->
+  Health.state
+(** Factorize and measure one recorded basis of [model] (as captured in
+    a health dump: [bas] is the basic variable per position, [vstat]
+    the per-variable status codes over structural+slack+artificial
+    columns) without running any pivots.  The returned state holds one
+    sample describing that basis. *)

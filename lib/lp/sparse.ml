@@ -147,6 +147,15 @@ module Basis = struct
     deferred : int array; (* positions without an acceptable pivot *)
     mutable n_deferred : int;
     mutable factored : bool;
+    (* numerical-health stats (DESIGN.md section 15).  A preallocated
+       float array rather than mutable float fields: stores into a
+       float-only array never box, so [update] stays noalloc-clean.
+       Layout: 0 max|B|, 1 max|U| (incl diag), 2 min|u_diag|,
+       3 max|u_diag|, 4 min|eta diag|, 5 max eta growth ratio,
+       6 ||B||_1 (max column abs-sum). *)
+    stat : float array;
+    mutable stat_valid : bool; (* B/U entry stats computed for this LU *)
+    mutable eta_rejections : int; (* updates refused for a tiny pivot *)
   }
 
   let create ?eta_limit m =
@@ -191,6 +200,9 @@ module Basis = struct
       deferred = Array.make (max 1 m) 0;
       n_deferred = 0;
       factored = false;
+      stat = Array.make 8 0.;
+      stat_valid = false;
+      eta_rejections = 0;
     }
 
   let dim t = t.m
@@ -238,6 +250,10 @@ module Basis = struct
     t.e_start.(0) <- 0;
     t.n_deferred <- 0;
     t.factored <- false;
+    t.stat.(4) <- infinity;
+    t.stat.(5) <- 0.;
+    t.stat_valid <- false;
+    t.eta_rejections <- 0;
     Array.fill t.step_of_row 0 m (-1);
     Array.fill t.step_of_pos 0 m (-1);
     Array.fill t.row_cnt 0 m 0;
@@ -361,6 +377,43 @@ module Basis = struct
     t.factored <- true;
     List.rev !patched
 
+  (* Health stats of the current LU: entry magnitudes of B (and its
+     1-norm) from the collected columns, of U from the finished
+     factors.  Computed lazily on first accessor call after a factor —
+     [factor] itself pays nothing, and unsampled refactorizations
+     (the production stride skips most) never run this O(nnz) pass.
+     The collected columns and U arrays persist until the next
+     [factor], so the pass can run at any point of the epoch. *)
+  let ensure_stats t =
+    if not t.stat_valid then begin
+      let m = t.m in
+      t.stat.(0) <- 0.;
+      t.stat.(1) <- 0.;
+      t.stat.(2) <- (if m = 0 then 0. else infinity);
+      t.stat.(3) <- 0.;
+      t.stat.(6) <- 0.;
+      for pos = 0 to m - 1 do
+        let s = ref 0. in
+        for c = t.c_start.(pos) to t.c_start.(pos + 1) - 1 do
+          let a = Float.abs t.c_val.(c) in
+          s := !s +. a;
+          if a > t.stat.(0) then t.stat.(0) <- a
+        done;
+        if !s > t.stat.(6) then t.stat.(6) <- !s
+      done;
+      for c = 0 to t.u_len - 1 do
+        let a = Float.abs t.u_val.(c) in
+        if a > t.stat.(1) then t.stat.(1) <- a
+      done;
+      for k = 0 to m - 1 do
+        let a = Float.abs t.u_diag.(k) in
+        if a > t.stat.(1) then t.stat.(1) <- a;
+        if a < t.stat.(2) then t.stat.(2) <- a;
+        if a > t.stat.(3) then t.stat.(3) <- a
+      done;
+      t.stat_valid <- true
+    end
+
   (* ---- solves ---- *)
 
   (* FTRAN: in place, input indexed by row, output indexed by basis
@@ -450,7 +503,10 @@ module Basis = struct
 
   let[@lint.noalloc] update t ~r ~w =
     if not t.factored then invalid_arg "Sparse.Basis.update: not factored";
-    if Float.abs w.(r) < eta_pivot_tol then false
+    if Float.abs w.(r) < eta_pivot_tol then begin
+      t.eta_rejections <- t.eta_rejections + 1;
+      false
+    end
     else begin
       let e = t.n_eta in
       t.e_pos <- grow_i t.e_pos (e + 1);
@@ -458,9 +514,13 @@ module Basis = struct
       t.e_start <- grow_i t.e_start (e + 2);
       t.e_pos.(e) <- r;
       t.e_diag.(e) <- w.(r);
+      let wr = Float.abs w.(r) in
+      let wmax = ref wr in
       let len = ref t.e_len in
       for i = 0 to t.m - 1 do
         if i <> r && Float_cmp.nonzero w.(i) then begin
+          let a = Float.abs w.(i) in
+          if a > !wmax then wmax := a;
           t.e_idx <- grow_i t.e_idx (!len + 1);
           t.e_val <- grow_f t.e_val (!len + 1);
           t.e_idx.(!len) <- i;
@@ -468,9 +528,50 @@ module Basis = struct
           incr len
         end
       done;
+      if wr < t.stat.(4) then t.stat.(4) <- wr;
+      let growth = !wmax /. wr in
+      if growth > t.stat.(5) then t.stat.(5) <- growth;
       t.e_len <- !len;
       t.e_start.(e + 1) <- !len;
       t.n_eta <- e + 1;
       true
+    end
+
+  (* ---- numerical-health accessors (DESIGN.md section 15) ---- *)
+
+  (* Element growth of the factorization: max|U| / max|B|.  Large
+     values mean threshold pivoting admitted an unstable elimination. *)
+  let lu_growth t =
+    ensure_stats t;
+    if t.stat.(0) > 0. then t.stat.(1) /. t.stat.(0) else 1.
+
+  let u_diag_min t =
+    ensure_stats t;
+    if t.m = 0 then 0. else t.stat.(2)
+
+  let u_diag_max t =
+    ensure_stats t;
+    t.stat.(3)
+
+  let norm1 t =
+    ensure_stats t;
+    t.stat.(6)
+  let eta_rejections t = t.eta_rejections
+  let eta_min_diag t = if t.n_eta = 0 then infinity else t.stat.(4)
+  let eta_growth t = t.stat.(5)
+
+  (* Rows whose U pivot is tiny relative to the largest: the basis is
+     within a relative [rtol] perturbation of singular along them.
+     Ascending row order for deterministic reports. *)
+  let near_singular_rows t ~rtol =
+    if not t.factored then []
+    else begin
+      let dmax = u_diag_max t in
+      let acc = ref [] in
+      for k = t.m - 1 downto 0 do
+        let a = Float.abs t.u_diag.(k) in
+        if a < rtol *. dmax then acc := (t.prow.(k), a) :: !acc
+      done;
+      List.sort (fun (a, _) (b, _) -> compare a b) !acc
     end
 end

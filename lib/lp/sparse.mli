@@ -92,4 +92,39 @@ module Basis : sig
   val needs_refactor : t -> bool
   (** True once the eta file is long ([eta_limit]) or has grown dense
       relative to the LU factors. *)
+
+  (** {2 Numerical-health accessors}
+
+      Factor-time statistics refresh on every [factor]; eta statistics
+      accumulate across [update] calls since the last [factor].  All are
+      O(1) reads of preallocated state (DESIGN.md section 15). *)
+
+  val lu_growth : t -> float
+  (** Element growth [max|U| / max|B|] of the last factorization; large
+      values mean threshold pivoting admitted an unstable elimination. *)
+
+  val u_diag_min : t -> float
+  (** Smallest [|u_diag|] of the last factorization (0. for [m = 0]). *)
+
+  val u_diag_max : t -> float
+  (** Largest [|u_diag|] of the last factorization. *)
+
+  val norm1 : t -> float
+  (** [||B||_1] (max column abs-sum) of the last factorized basis. *)
+
+  val eta_rejections : t -> int
+  (** Updates refused for a tiny eta pivot since the last [factor]. *)
+
+  val eta_min_diag : t -> float
+  (** Smallest [|w.(r)|] accepted as an eta pivot since the last
+      [factor]; [infinity] when the eta file is empty. *)
+
+  val eta_growth : t -> float
+  (** Largest [max_i |w.(i)| / |w.(r)|] over accepted etas since the
+      last [factor] — pivot growth of the product-form updates. *)
+
+  val near_singular_rows : t -> rtol:float -> (int * float) list
+  (** Rows whose U pivot is below [rtol] times the largest [|u_diag|],
+      as [(row, |u_diag|)] in ascending row order: the basis is within a
+      relative [rtol] perturbation of singular along these rows. *)
 end

@@ -24,12 +24,19 @@ let prom_name name =
    histograms.  Wall-clock measurements (timers, spans, duration
    histograms by the "_seconds" naming convention), high-water gauges
    and GC counters vary run to run and would break the monitor's
-   byte-identical-artifacts guarantee. *)
+   byte-identical-artifacts guarantee.  Solver-health metrics
+   ("health." prefix) are excluded for the same reason: production
+   sampling passes a per-domain stride (DESIGN.md section 15.1), so
+   which solves get measured depends on how the scheduler spread work
+   across domains — statistical observability, not a deterministic
+   artifact.  Doctor reports carry the deterministic health story. *)
 let deterministic_metric (name, kind) =
-  match (kind : Trace.metric_kind) with
-  | Trace.Counter -> not (String.starts_with ~prefix:"gc." name)
-  | Trace.Hist -> not (String.ends_with ~suffix:"_seconds" name)
-  | Trace.Gauge | Trace.Timer | Trace.Span | Trace.Probe -> false
+  if String.starts_with ~prefix:"health." name then false
+  else
+    match (kind : Trace.metric_kind) with
+    | Trace.Counter -> not (String.starts_with ~prefix:"gc." name)
+    | Trace.Hist -> not (String.ends_with ~suffix:"_seconds" name)
+    | Trace.Gauge | Trace.Timer | Trace.Span | Trace.Probe -> false
 
 let select ~deterministic =
   let all = Trace.registry () in
@@ -151,6 +158,15 @@ let prometheus ?(deterministic = false) () =
              already surface through trace.events_* counters *)
           ())
     (select ~deterministic);
+  (* Ring saturation is always exported — deterministic mode included:
+     a nonzero drop total means the event stream / span records behind
+     every other artifact are truncated, and omitting the family would
+     make the scrape page lie by omission exactly when it matters. *)
+  Buffer.add_string b "# TYPE flexile_trace_drops_total counter\n";
+  Printf.bprintf b "flexile_trace_drops_total{ring=\"events\"} %d\n"
+    (Trace.events_dropped ());
+  Printf.bprintf b "flexile_trace_drops_total{ring=\"spans\"} %d\n"
+    (Trace.spans_dropped ());
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)

@@ -9,8 +9,11 @@
     metrics that are pure functions of the seeded work: counters
     (minus the [gc.*] family) and value-distribution histograms (minus
     the wall-clock ones, by the [*_seconds] naming convention); gauges,
-    timers, spans and probes are dropped.  This subset is what makes
-    [flexile monitor] artifacts byte-identical across invocations. *)
+    timers, spans and probes are dropped, as is the whole [health.*]
+    family — the production sampling stride makes those aggregates
+    schedule-dependent (DESIGN.md section 15.1).  This subset is what
+    makes [flexile monitor] artifacts byte-identical across
+    invocations. *)
 
 val deterministic_metric : string * Flexile_util.Trace.metric_kind -> bool
 (** The filter described above, exposed for tests. *)
@@ -39,7 +42,14 @@ val prometheus : ?deterministic:bool -> unit -> string
     summaries ([<name>_seconds_sum] / [<name>_seconds_count]),
     histograms with cumulative [<name>_bucket{le="..."}] lines, a
     [le="+Inf"] bucket and [_sum] / [_count].  Probes are skipped.
-    Each family is preceded by its [# TYPE] line. *)
+    Each family is preceded by its [# TYPE] line.
+
+    The page always ends with the
+    [flexile_trace_drops_total{ring="events"|"spans"}] family (from
+    {!Flexile_util.Trace.events_dropped} / [spans_dropped]) — including
+    under [deterministic], where a nonzero value flags that the
+    deterministic artifacts themselves are built over truncated
+    rings. *)
 
 val snapshot_json : ?deterministic:bool -> unit -> string
 (** One-line JSON object

@@ -7,11 +7,15 @@
 let schema = "flexile-bench-baseline"
 
 (* v2: `bench --json` documents gained a "histograms" extra section
-   (per-name quantile summaries) alongside "trace".  The phase schema
-   the gate reads is unchanged, and [of_json] accepts any version <=
-   [version], so committed v1 baselines (BENCH_PR3.json) stay
-   readable; only files from a *newer* writer are rejected. *)
-let version = 2
+   (per-name quantile summaries) alongside "trace".
+   v3: a "doctor" phase (fixture diagnosis replay) joins the tracked
+   phases and baselines carry a "solver_health" extra section (the
+   Trace_export.solver_health_json projection).  In both revisions the
+   phase schema the gate reads is unchanged, and [of_json] accepts any
+   version <= [version], so committed v1/v2 baselines (BENCH_PR3.json,
+   BENCH_PR8.json) stay readable; only files from a *newer* writer are
+   rejected. *)
+let version = 3
 
 type phase = { pname : string; median_seconds : float }
 

@@ -6,11 +6,12 @@
 val schema : string
 
 val version : int
-(** Current writer version (2).  v2 marks the addition of the
-    ["histograms"] extra section to [bench --json] documents; the
+(** Current writer version (3).  v2 marks the addition of the
+    ["histograms"] extra section to [bench --json] documents; v3 adds
+    the ["doctor"] phase and the ["solver_health"] extra section.  The
     phase layout the gate compares is unchanged since v1, and
-    {!of_json} reads any version up to [version] (v1 baselines such
-    as [BENCH_PR3.json] stay loadable). *)
+    {!of_json} reads any version up to [version] (v1/v2 baselines such
+    as [BENCH_PR3.json] and [BENCH_PR8.json] stay loadable). *)
 
 type phase = { pname : string; median_seconds : float }
 

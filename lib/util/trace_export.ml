@@ -47,6 +47,65 @@ let span_tree_json () =
   Buffer.add_char b ']';
   Buffer.contents b
 
+(* ------------------------------------------------------------------ *)
+(* Solver-health section                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema'd projection of the numerical-health observatory: every
+   [health.*] metric (samples, trips, stalls, residual/condition/growth
+   histograms — see Flexile_lp.Health) plus the [simplex.*] counters
+   that give them context (warm-start attempts/fallbacks, refactor
+   cadence).  Emitted as its own section in `--trace` reports and as a
+   standalone artifact by `bench --gate` and CI, so dashboards can read
+   solver health without parsing the full registry. *)
+let solver_health_schema = "flexile-solver-health"
+let solver_health_version = 1
+
+let solver_health_json () =
+  let keep name = function
+    | Trace.Counter ->
+        String.starts_with ~prefix:"health." name
+        || String.starts_with ~prefix:"simplex." name
+    | Trace.Hist -> String.starts_with ~prefix:"health." name
+    | _ -> false
+  in
+  let metrics =
+    List.filter (fun (n, k) -> keep n k) (Trace.registry ())
+  in
+  let jnum v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null" in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\"schema\":\"%s\",\"version\":%d,\"counters\":{"
+    solver_health_schema solver_health_version;
+  let first = ref true in
+  List.iter
+    (fun (name, kind) ->
+      if kind = Trace.Counter then begin
+        if !first then first := false else Buffer.add_char b ',';
+        Printf.bprintf b "\"%s\":%d" (json_escape name)
+          (Trace.value_by_name name)
+      end)
+    metrics;
+  Buffer.add_string b "},\"histograms\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, kind) ->
+      if kind = Trace.Hist then begin
+        if !first then first := false else Buffer.add_char b ',';
+        let s = Trace.hist_snapshot_by_name name in
+        Printf.bprintf b "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s"
+          (json_escape name) s.Trace.hist_count (jnum s.Trace.hist_sum)
+          (jnum s.Trace.hist_min) (jnum s.Trace.hist_max);
+        List.iter
+          (fun (label, q) ->
+            Printf.bprintf b ",\"%s\":%s" label
+              (jnum (Trace.hist_quantile_of s q)))
+          [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ];
+        Buffer.add_char b '}'
+      end)
+    metrics;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
 let report_json ?(derived = []) () =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\"derived\":{";
@@ -57,7 +116,9 @@ let report_json ?(derived = []) () =
     derived;
   (* [report] is the full registry — every module's counters, gauges,
      timers and span totals, not just the offline solver's *)
-  Printf.bprintf b "},\"report\":%s,\"span_tree\":%s" (Trace.to_json ())
+  Printf.bprintf b "},\"report\":%s,\"solver_health\":%s,\"span_tree\":%s"
+    (Trace.to_json ())
+    (solver_health_json ())
     (span_tree_json ());
   (* ring/record saturation at top level: a nonzero drop count means
      the span_tree above (and the event stream) is truncated — silent

@@ -3,8 +3,8 @@
 val report_json : ?derived:(string * float) list -> unit -> string
 (** The structured report written by [flexile --trace] and embedded by
     [bench --json]:
-    [{"derived":{..}, "report":<full registry>, "span_tree":[..],
-      "drops":{..}}].
+    [{"derived":{..}, "report":<full registry>, "solver_health":{..},
+      "span_tree":[..], "drops":{..}}].
     [report] is {!Trace.to_json} — {e every} registered counter, gauge,
     timer, histogram and span total, across all instrumented modules;
     [derived] carries caller-computed summary ratios; [span_tree] is
@@ -17,6 +17,19 @@ val report_json : ?derived:(string * float) list -> unit -> string
 
 val span_tree_json : unit -> string
 (** Just the [span_tree] array. *)
+
+val solver_health_schema : string
+val solver_health_version : int
+
+val solver_health_json : unit -> string
+(** The numerical-health section: a schema'd
+    ([{"schema":"flexile-solver-health","version":1,...}]) projection
+    of every [health.*] counter and histogram (samples, threshold
+    trips, stalls, residual/condition/growth distributions — see
+    [Flexile_lp.Health]) plus the [simplex.*] counters that give them
+    context.  Embedded in {!report_json} and written standalone by
+    [bench --gate] and CI so dashboards read solver health without
+    parsing the full registry. *)
 
 val chrome_json : unit -> string
 (** Chrome trace-event JSON (object format), loadable in Perfetto /

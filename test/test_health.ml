@@ -1,0 +1,395 @@
+(* Tests of the solver health observatory (Flexile_lp.Health /
+   Doctor): pathological-numerics fixtures must trip the condition and
+   stall detectors, a healthy workload must stay silent, dumps must
+   round-trip byte-exactly, and doctor reports must be deterministic. *)
+
+open Flexile_lp
+module Prng = Flexile_util.Prng
+module Trace = Flexile_util.Trace
+
+let prod_thresholds () = Health.default_thresholds ()
+
+(* Random bounded LP (never unbounded): the healthy workload. *)
+let random_lp prng ~nv ~nr =
+  let m = Lp_model.create () in
+  let vars =
+    Array.init nv (fun _ ->
+        Lp_model.add_var m ~ub:4. ~obj:(Prng.uniform prng (-2.) 2.) ())
+  in
+  for _ = 1 to nr do
+    let coeffs =
+      Array.to_list
+        (Array.map (fun v -> (v, float_of_int (Prng.int prng 7 - 3))) vars)
+    in
+    let sense = if Prng.bool prng 0.7 then Lp_model.Le else Lp_model.Ge in
+    ignore (Lp_model.add_row m sense (Prng.uniform prng (-2.) 6.) coeffs)
+  done;
+  m
+
+(* ---- FLEXILE_ETA_LIMIT=1 walk: a sample per pivot epoch ---- *)
+
+(* With the eta file capped at one update, every pivot forces a
+   refactorization, so the capture timeline densely samples the solve;
+   on a healthy LP every sample must be clean. *)
+let test_eta_limit_walk () =
+  let prng = Prng.of_string "health-eta-walk" in
+  for trial = 1 to 10 do
+    let m = random_lp prng ~nv:12 ~nr:10 in
+    let sol, h =
+      Simplex.solve_doctor ~eta_limit:1 ~thresholds:(prod_thresholds ()) m
+    in
+    let samples = Health.samples h in
+    (match sol.Simplex.status with
+    | Simplex.Optimal when sol.Simplex.iterations > 2 ->
+        Alcotest.(check bool)
+          (Printf.sprintf "trial %d: one sample per refactorization" trial)
+          true
+          (List.length samples >= sol.Simplex.iterations / 2)
+    | _ -> ());
+    List.iter
+      (fun (s : Health.sample) ->
+        if s.Health.s_primal_res > 1e-6 || s.Health.s_dual_res > 1e-6 then
+          Alcotest.failf "trial %d: residual drift (%.3g, %.3g)" trial
+            s.Health.s_primal_res s.Health.s_dual_res;
+        (* Hager estimates a lower bound on ||B^-1||_1, so the product
+           can dip a hair under the true kappa >= 1 *)
+        if not (Float.is_finite s.Health.s_cond1) || s.Health.s_cond1 <= 0.
+        then
+          Alcotest.failf "trial %d: bad condition estimate %.3g" trial
+            s.Health.s_cond1;
+        Alcotest.(check (list string))
+          (Printf.sprintf "trial %d: no trips" trial)
+          [] s.Health.s_tripped)
+      samples;
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: no stalls" trial)
+      0
+      (List.length (Health.stalls h))
+  done
+
+(* ---- production sampling stride ---- *)
+
+(* capture mode samples every opportunity; production passes a
+   per-domain stride of 16 (exactly one hit per 16 consecutive
+   opportunities, wherever in the cycle the counter currently is) *)
+let test_sampling_stride () =
+  let cap = Health.make ~capture:true 4 in
+  for _ = 1 to 40 do
+    Alcotest.(check bool) "capture always due" true (Health.sample_due cap)
+  done;
+  let prod = Health.make 4 in
+  let hits = ref 0 in
+  for _ = 1 to 16 do
+    if Health.sample_due prod then incr hits
+  done;
+  Alcotest.(check int) "one hit per 16 production opportunities" 1 !hits;
+  let hits2 = ref 0 in
+  for _ = 1 to 64 do
+    if Health.sample_due prod then incr hits2
+  done;
+  Alcotest.(check int) "four hits per 64" 4 !hits2
+
+(* ---- the crafted near-singular fixture fires every detector ---- *)
+
+let test_near_singular_fixture () =
+  match Doctor.run_fixture "near-singular" with
+  | Error e -> Alcotest.failf "fixture: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "diagnosed unhealthy" false r.Doctor.r_healthy;
+      Alcotest.(check string)
+        "solves to the interior optimum" "optimal"
+        (match r.Doctor.r_solution.Simplex.status with
+        | Simplex.Optimal -> "optimal"
+        | _ -> "other");
+      Alcotest.(check bool)
+        "objective -0.5 (x1 basic at 0.5)" true
+        (Float.abs (r.Doctor.r_solution.Simplex.obj +. 0.5) < 1e-6);
+      let samples = Health.samples r.Doctor.r_health in
+      Alcotest.(check bool)
+        "condition estimate trips the 1e10 threshold" true
+        (List.exists
+           (fun (s : Health.sample) -> List.mem "cond" s.Health.s_tripped)
+           samples);
+      Alcotest.(check bool)
+        "condition estimate sees ~4e10" true
+        (List.exists
+           (fun (s : Health.sample) -> s.Health.s_cond1 > 1e10)
+           samples);
+      Alcotest.(check bool)
+        "near-singular row detected" true
+        (List.exists
+           (fun (s : Health.sample) ->
+             List.exists (fun (row, _) -> row = 1) s.Health.s_near_singular)
+           samples);
+      Alcotest.(check bool)
+        "stall detector fires" true
+        (Health.stalls r.Doctor.r_health <> []);
+      (* the rendered diagnosis names the phase and the rows *)
+      let mem needle =
+        let h = r.Doctor.r_report in
+        let n = String.length needle and l = String.length h in
+        let rec go i =
+          i + n <= l && (String.equal (String.sub h i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        "report names the stalling phase" true
+        (mem "\"stalling_phase\":\"phase2\"");
+      Alcotest.(check bool) "report names the row" true (mem "\"ns_r1\"");
+      Alcotest.(check bool)
+        "report lists the cond trip" true
+        (mem "\"thresholds_tripped\":[\"cond\"]")
+
+(* the degenerate chain stalls under the doctor's lowered limit but is
+   numerically sound: no trips, no near-singular rows *)
+let test_degenerate_fixture () =
+  match Doctor.run_fixture "degenerate" with
+  | Error e -> Alcotest.failf "fixture: %s" e
+  | Ok r ->
+      Alcotest.(check bool)
+        "stalls" true
+        (Health.stalls r.Doctor.r_health <> []);
+      List.iter
+        (fun (s : Health.sample) ->
+          Alcotest.(check (list string)) "no trips" [] s.Health.s_tripped;
+          Alcotest.(check int) "no near-singular rows" 0
+            (List.length s.Health.s_near_singular))
+        (Health.samples r.Doctor.r_health)
+
+(* ---- healthy suite stays silent under production thresholds ---- *)
+
+let test_healthy_suite_silent () =
+  let prng = Prng.of_string "health-silent" in
+  for trial = 1 to 25 do
+    let m = random_lp prng ~nv:(4 + Prng.int prng 10) ~nr:(3 + Prng.int prng 8) in
+    let _, h = Simplex.solve_doctor ~thresholds:(prod_thresholds ()) m in
+    List.iter
+      (fun (s : Health.sample) ->
+        if s.Health.s_tripped <> [] then
+          Alcotest.failf "trial %d: unexpected trip %s" trial
+            (String.concat "," s.Health.s_tripped))
+      (Health.samples h);
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: no stalls" trial)
+      0
+      (List.length (Health.stalls h))
+  done
+
+(* ---- dump round trip: bit-exact floats, byte-stable serialization ---- *)
+
+let test_hex_float_round_trip () =
+  let bits = Int64.bits_of_float in
+  List.iter
+    (fun v ->
+      match Health.float_of_hex (Health.hex_of_float v) with
+      | None -> Alcotest.failf "no parse for %h" v
+      | Some v' ->
+          if Float.is_nan v then
+            Alcotest.(check bool) "nan round trip" true (Float.is_nan v')
+          else
+            Alcotest.(check int64)
+              (Printf.sprintf "bits of %h" v)
+              (bits v) (bits v'))
+    [
+      0.; -0.; 1.; -1.5; 0.1; 1. /. 3.; 1e-300; -1.7e308; 4.5e-320;
+      (* subnormal *) infinity; neg_infinity; Float.nan; 1. +. 1e-10;
+    ]
+
+let test_dump_round_trip () =
+  let model = Doctor.near_singular_fixture () in
+  let n = 2 + Lp_model.nrows model + Lp_model.nvars model in
+  let dump =
+    {
+      Health.d_reasons = [ "cond"; "lu_growth" ];
+      d_phase = 2;
+      d_iteration = 17;
+      d_eta_limit = Some 3;
+      d_model = model;
+      d_basis = Array.init (Lp_model.nrows model) (fun i -> i);
+      d_vstat = Array.make n 0;
+    }
+  in
+  let s = Health.dump_to_string dump in
+  let path = Filename.temp_file "flexile-health" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      match Health.read_dump path with
+      | Error e -> Alcotest.failf "read_dump: %s" e
+      | Ok d ->
+          Alcotest.(check (list string))
+            "reasons" dump.Health.d_reasons d.Health.d_reasons;
+          Alcotest.(check int) "phase" 2 d.Health.d_phase;
+          Alcotest.(check int) "iteration" 17 d.Health.d_iteration;
+          Alcotest.(check (option int)) "eta limit" (Some 3) d.Health.d_eta_limit;
+          Alcotest.(check (array int))
+            "basis" dump.Health.d_basis d.Health.d_basis;
+          Alcotest.(check (array int))
+            "vstat" dump.Health.d_vstat d.Health.d_vstat;
+          (* the model re-serializes to the identical bytes: every
+             float survives through the hex literals *)
+          Alcotest.(check string)
+            "model json byte-identical"
+            (Health.model_to_json_string model)
+            (Health.model_to_json_string d.Health.d_model);
+          Alcotest.(check string)
+            "dump re-serializes byte-identically" s (Health.dump_to_string d))
+
+(* ---- threshold trip writes a dump; diagnose-basis measures it ---- *)
+
+let with_dump_dir f =
+  let dir = Filename.temp_file "flexile-dumps" "" in
+  Sys.remove dir;
+  Unix.putenv "FLEXILE_HEALTH_DUMP" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "FLEXILE_HEALTH_DUMP" "";
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_auto_dump_and_patch_path () =
+  with_dump_dir @@ fun dir ->
+  (match Doctor.run_fixture "near-singular" with
+  | Error e -> Alcotest.failf "fixture: %s" e
+  | Ok _ -> ());
+  let path =
+    Filename.concat dir "health-dump-near-singular-fixture.json"
+  in
+  Alcotest.(check bool) "trip wrote the snapshot" true (Sys.file_exists path);
+  match Health.read_dump path with
+  | Error e -> Alcotest.failf "read_dump: %s" e
+  | Ok d ->
+      Alcotest.(check bool)
+        "dump records the cond trip" true
+        (List.mem "cond" d.Health.d_reasons);
+      (* measuring the captured basis in isolation sees the same
+         near-singular row, and nothing is patched *)
+      let h =
+        Simplex.diagnose_basis ?eta_limit:d.Health.d_eta_limit
+          ~phase:d.Health.d_phase ~iteration:d.Health.d_iteration
+          d.Health.d_model ~bas:d.Health.d_basis ~vstat:d.Health.d_vstat
+      in
+      (match Health.samples h with
+      | [ s ] ->
+          Alcotest.(check (list (pair int int))) "no patches" []
+            s.Health.s_patched;
+          Alcotest.(check bool)
+            "near-singular row in dumped basis" true
+            (List.exists (fun (row, _) -> row = 1) s.Health.s_near_singular)
+      | l -> Alcotest.failf "expected one sample, got %d" (List.length l));
+      (* corrupt the basis with a duplicate column: the factorization
+         must take the singular-patch path and the sample must say so *)
+      let bas = Array.copy d.Health.d_basis in
+      bas.(0) <- bas.(1);
+      let h2 =
+        Simplex.diagnose_basis d.Health.d_model ~bas ~vstat:d.Health.d_vstat
+      in
+      (match Health.samples h2 with
+      | [ s ] ->
+          Alcotest.(check bool)
+            "duplicate column is patched" true
+            (s.Health.s_patched <> [])
+      | l -> Alcotest.failf "expected one sample, got %d" (List.length l))
+
+(* ---- doctor reports are deterministic ---- *)
+
+let test_doctor_deterministic () =
+  let report name =
+    match Doctor.run_fixture name with
+    | Error e -> Alcotest.failf "fixture: %s" e
+    | Ok r -> r.Doctor.r_report
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        (name ^ " report byte-stable")
+        (report name) (report name))
+    Doctor.fixture_names;
+  with_dump_dir @@ fun dir ->
+  ignore (report "near-singular");
+  let path = Filename.concat dir "health-dump-near-singular-fixture.json" in
+  let from_dump () =
+    match Doctor.run_dump path with
+    | Error e -> Alcotest.failf "run_dump: %s" e
+    | Ok r -> r.Doctor.r_report
+  in
+  Alcotest.(check string) "dump replay byte-stable" (from_dump ()) (from_dump ())
+
+(* ---- solver_health projection ---- *)
+
+let test_solver_health_json () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  (* generate some health traffic *)
+  (match Doctor.run_fixture "near-singular" with
+  | Error e -> Alcotest.failf "fixture: %s" e
+  | Ok _ -> ());
+  let s = Flexile_util.Trace_export.solver_health_json () in
+  match Flexile_util.Json.parse s with
+  | Error e -> Alcotest.failf "solver_health not JSON: %s" e
+  | Ok j ->
+      let module Json = Flexile_util.Json in
+      Alcotest.(check (option string))
+        "schema" (Some "flexile-solver-health")
+        (Option.bind (Json.member "schema" j) Json.to_string);
+      let counters = Json.member "counters" j in
+      let counter name =
+        Option.bind counters (fun c ->
+            Option.bind (Json.member name c) Json.to_int)
+      in
+      (match counter "health.samples" with
+      | Some n when n > 0 -> ()
+      | v ->
+          Alcotest.failf "health.samples missing or zero (%s)"
+            (match v with Some n -> string_of_int n | None -> "absent"));
+      (match counter "health.threshold_trips" with
+      | Some n when n > 0 -> ()
+      | _ -> Alcotest.failf "health.threshold_trips missing or zero");
+      match
+        Option.bind (Json.member "histograms" j) (Json.member "health.cond1_log10")
+      with
+      | Some _ -> ()
+      | None -> Alcotest.fail "health.cond1_log10 histogram absent"
+
+let () =
+  Alcotest.run "flexile_health"
+    [
+      ( "observatory",
+        [
+          Alcotest.test_case "eta-limit-1 walk samples every epoch" `Quick
+            test_eta_limit_walk;
+          Alcotest.test_case "production sampling stride" `Quick
+            test_sampling_stride;
+          Alcotest.test_case "near-singular fixture fires cond+stall+rows"
+            `Quick test_near_singular_fixture;
+          Alcotest.test_case "degenerate fixture stalls without trips" `Quick
+            test_degenerate_fixture;
+          Alcotest.test_case "healthy suite is silent" `Quick
+            test_healthy_suite_silent;
+        ] );
+      ( "dumps",
+        [
+          Alcotest.test_case "hex float round trip" `Quick
+            test_hex_float_round_trip;
+          Alcotest.test_case "dump serialization round trip" `Quick
+            test_dump_round_trip;
+          Alcotest.test_case "trip auto-dumps; patch path reported" `Quick
+            test_auto_dump_and_patch_path;
+        ] );
+      ( "doctor",
+        [
+          Alcotest.test_case "reports deterministic" `Quick
+            test_doctor_deterministic;
+          Alcotest.test_case "solver_health projection" `Quick
+            test_solver_health_json;
+        ] );
+    ]

@@ -210,6 +210,10 @@ let test_deterministic_filter () =
     Alcotest.fail "value histograms are deterministic";
   if keep ("online.scenario_seconds", Trace.Hist) then
     Alcotest.fail "duration histograms are wall-clock";
+  if keep ("health.samples", Trace.Counter) || keep ("health.cond1_log10", Trace.Hist)
+  then
+    Alcotest.fail
+      "health metrics are stride-sampled per domain, not deterministic";
   List.iter
     (fun k ->
       if keep ("anything", k) then
@@ -232,6 +236,31 @@ let test_deterministic_filter () =
            Alcotest.failf "gc line survived the filter: %S" l);
   if contains "test_filter_seconds" page then
     Alcotest.fail "duration histogram survived the filter"
+
+(* the drop counters must survive the deterministic filter: a scrape
+   that silently lost events is exactly what the family is there to
+   reveal *)
+let test_trace_drops_family () =
+  with_tracing true @@ fun () ->
+  List.iter
+    (fun deterministic ->
+      let page = Export.prometheus ~deterministic () in
+      let lines = String.split_on_char '\n' page in
+      List.iter
+        (fun ring ->
+          let prefix =
+            Printf.sprintf "flexile_trace_drops_total{ring=%S} " ring
+          in
+          if not (List.exists (String.starts_with ~prefix) lines) then
+            Alcotest.failf "missing %s (deterministic=%b)" prefix deterministic)
+        [ "events"; "spans" ];
+      if
+        not
+          (List.exists
+             (String.equal "# TYPE flexile_trace_drops_total counter")
+             lines)
+      then Alcotest.fail "missing TYPE line for flexile_trace_drops_total")
+    [ true; false ]
 
 (* ---- JSON snapshot ---- *)
 
@@ -290,6 +319,7 @@ let () =
           quick "exposition shape" test_prometheus_shape;
           quick "name sanitization" test_prom_name;
           quick "deterministic filter" test_deterministic_filter;
+          quick "trace drops family always exported" test_trace_drops_family;
         ] );
       ( "json",
         [ quick "snapshot parses with histograms" test_snapshot_json_parses ] );
